@@ -1,0 +1,420 @@
+(* The full benchmark harness: regenerates every table and figure of
+   McKenney & Slingwine (USENIX Winter 1993) at a scale that completes
+   in a few minutes, runs the ablations called out in DESIGN.md, and
+   finishes with a Bechamel microbenchmark suite for the native
+   per-domain pool.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig7 ...  # only the named sections
+
+   Larger, slower runs of individual experiments: bin/kma_bench.exe. *)
+
+let section name = Experiments.Series.heading name
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "(section took %.1fs of host time)\n"
+    (Unix.gettimeofday () -. t0);
+  r
+
+(* --- E1: the Analysis section's allocb/freeb profile --- *)
+
+let bench_analysis () =
+  wall (fun () ->
+      Experiments.Analysis.print (Experiments.Analysis.run ~samples:150 ()))
+
+(* --- E2: instruction counts --- *)
+
+let bench_opcounts () =
+  wall (fun () -> Experiments.Opcounts.print (Experiments.Opcounts.run ()))
+
+(* --- E3/E4: Figures 7 and 8 --- *)
+
+let bench_fig7 () =
+  wall (fun () ->
+      let points =
+        Experiments.Fig7.run ~cpus:[ 1; 2; 4; 8; 12; 16; 20; 25 ] ~iters:400
+          ()
+      in
+      Experiments.Fig7.print_linear points;
+      Experiments.Fig7.print_semilog points;
+      let open Baseline.Allocator in
+      Printf.printf "\ncookie speedup: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (n, s) -> Printf.sprintf "%dcpu=%.1fx" n s)
+              (Experiments.Fig7.speedup points ~which:Cookie)));
+      Printf.printf "single-CPU cookie/oldkma: %.1fx (paper: 15x)\n"
+        (Experiments.Fig7.single_cpu_ratio points ~num:Cookie ~den:Oldkma);
+      let at n w =
+        match
+          List.find_opt
+            (fun p ->
+              p.Experiments.Fig7.which = w && p.Experiments.Fig7.ncpus = n)
+            points
+        with
+        | Some p -> p.Experiments.Fig7.pairs_per_sec
+        | None -> Float.nan
+      in
+      Printf.printf "25-CPU cookie/oldkma: %.0fx (paper: >1000x)\n"
+        (at 25 Cookie /. at 25 Oldkma))
+
+(* --- E5: Figure 9 --- *)
+
+let bench_fig9 () =
+  wall (fun () ->
+      let results =
+        Experiments.Fig9.run ~memory_words:(256 * 1024) ()
+      in
+      Experiments.Fig9.print results;
+      Printf.printf "sweep completed without wedging: %b\n"
+        (Experiments.Fig9.completed results);
+      (* The paper's side claim: an allocator without coalescing cannot
+         complete this benchmark. *)
+      let mk =
+        Experiments.Fig9.run ~which:Baseline.Allocator.Mk
+          ~memory_words:(256 * 1024) ()
+      in
+      let wedged =
+        List.filter (fun r -> r.Workload.Worstcase.blocks <= 10) mk
+      in
+      Printf.printf
+        "mk (no coalescing) wedged on %d of %d sizes, as the paper \
+         predicts\n"
+        (List.length wedged) (List.length mk))
+
+(* --- E6: DLM miss rates --- *)
+
+let bench_missrates () =
+  wall (fun () ->
+      let r = Experiments.Missrates.run ~transactions_per_cpu:2000 () in
+      Experiments.Missrates.print r;
+      Printf.printf "all rates within analytic bounds: %b\n"
+        (Experiments.Missrates.within_bounds r))
+
+(* --- Ablation A: the target parameter --- *)
+
+let bench_ablation_target () =
+  wall (fun () ->
+      section
+        "Ablation: per-CPU target (1 = no batching, the paper's \
+         free-singly strawman)";
+      let rows =
+        List.map
+          (fun target ->
+            let cfg = Workload.Rig.paper_config ~ncpus:4 () in
+            let m = Sim.Machine.create cfg in
+            let params =
+              let base =
+                Kma.Params.auto
+                  ~memory_words:cfg.Sim.Config.memory_words
+              in
+              Kma.Params.make ~vmblk_pages:base.Kma.Params.vmblk_pages
+                ~targets:(Array.make 9 target)
+                ~gbltargets:
+                  (Array.make 9 (Kma.Params.default_gbltarget ~target))
+                ()
+            in
+            let kmem = Kma.Kmem.create m ~params () in
+            let r =
+              Dlm.Oltp.run ~kmem ~ncpus:4 ~transactions_per_cpu:800 ()
+            in
+            let stats = Kma.Kmem.stats kmem in
+            (* 64-byte class carries the note + resource traffic. *)
+            let si = 2 in
+            [
+              string_of_int target;
+              Experiments.Series.pct
+                (Kma.Kstats.percpu_alloc_miss_rate stats ~si);
+              Experiments.Series.pct
+                (Kma.Kstats.combined_alloc_miss_rate stats ~si);
+              Experiments.Series.sci
+                (float_of_int r.Dlm.Oltp.transactions
+                /. Sim.Config.seconds_of_cycles cfg r.Dlm.Oltp.cycles);
+            ])
+          [ 1; 2; 5; 10; 20 ]
+      in
+      Experiments.Series.table
+        ~header:[ "target"; "pcpu miss (64B)"; "combined miss"; "tx/s" ]
+        rows;
+      print_endline
+        "expected: miss rates fall roughly as 1/target; throughput rises \
+         then flattens")
+
+(* --- Ablation B: radix page order vs emptiest-first --- *)
+
+let bench_ablation_page_policy () =
+  wall (fun () ->
+      section "Ablation: coalesce-to-page selection policy";
+      (* Steady churn on one size class: repeatedly free a random
+         fraction of the live set and allocate back a bit less, with a
+         tiny per-CPU cache so traffic reaches the page layer.  The
+         radix order (fullest-first) concentrates allocations in full
+         pages, letting sparse pages drain to the VM system; the
+         emptiest-first strawman keeps refilling the sparse pages. *)
+      let churn policy =
+        let cfg =
+          Workload.Rig.paper_config ~ncpus:1 ~memory_words:(1024 * 1024) ()
+        in
+        let m = Sim.Machine.create cfg in
+        let params =
+          let base =
+            Kma.Params.auto ~memory_words:cfg.Sim.Config.memory_words
+          in
+          Kma.Params.make ~vmblk_pages:base.Kma.Params.vmblk_pages
+            ~targets:(Array.make 9 2) ~gbltargets:(Array.make 9 2)
+            ~page_policy:policy ()
+        in
+        let kmem = Kma.Kmem.create m ~params () in
+        let rng = Workload.Prng.create ~seed:3 in
+        let bytes = 256 in
+        let final = ref (0, 0, 0) in
+        Sim.Machine.run m
+          [|
+            (fun _ ->
+              let live = ref [] in
+              let nlive = ref 0 in
+              let alloc_n n =
+                for _ = 1 to n do
+                  match Kma.Kmem.try_alloc kmem ~bytes with
+                  | Some a ->
+                      live := a :: !live;
+                      incr nlive
+                  | None -> ()
+                done
+              in
+              let free_frac pct =
+                let keep = ref [] in
+                let freed = ref 0 in
+                List.iter
+                  (fun a ->
+                    if Workload.Prng.int rng ~bound:100 < pct then begin
+                      Kma.Kmem.free kmem ~addr:a ~bytes;
+                      decr nlive;
+                      incr freed
+                    end
+                    else keep := a :: !keep)
+                  !live;
+                live := !keep;
+                !freed
+              in
+              alloc_n 600;
+              for _round = 1 to 30 do
+                let freed = free_frac 30 in
+                (* Allocate back slightly less, so sparse pages have a
+                   chance to drain while the live set stays large. *)
+                alloc_n (freed * 5 / 6)
+              done;
+              let st = Kma.Kmem.stats kmem in
+              let si = 4 in
+              final :=
+                ( Kma.Kmem.granted_pages_oracle kmem,
+                  (Kma.Kstats.size st si).Kma.Kstats.pages_returned,
+                  !nlive ));
+          |];
+        !final
+      in
+      let f_pages, f_ret, f_live = churn Kma.Params.Fullest_first in
+      let e_pages, e_ret, e_live = churn Kma.Params.Emptiest_first in
+      Experiments.Series.table
+        ~header:
+          [ "policy"; "live blocks"; "pages held"; "pages recycled" ]
+        [
+          [ "fullest-first (paper)"; string_of_int f_live;
+            string_of_int f_pages; string_of_int f_ret ];
+          [ "emptiest-first"; string_of_int e_live; string_of_int e_pages;
+            string_of_int e_ret ];
+        ];
+      print_endline
+        "expected: same live data, but fullest-first holds it in fewer \
+         pages and recycles more")
+
+(* --- Cross-CPU flow: what the global layer buys --- *)
+
+let bench_crosscpu () =
+  wall (fun () ->
+      section "Producer/consumer flow through the global layer";
+      let rows =
+        List.map
+          (fun which ->
+            let r =
+              Workload.Crosscpu.run ~which ~pairs:2 ~blocks_per_pair:2000 ()
+            in
+            [
+              Baseline.Allocator.name_of which;
+              Experiments.Series.sci r.Workload.Crosscpu.transfers_per_sec;
+            ])
+          Baseline.Allocator.[ Cookie; Newkma; Mk; Oldkma ]
+      in
+      Experiments.Series.table ~header:[ "allocator"; "transfers/s" ] rows)
+
+(* --- Roads not taken: the watermark lazy buddy --- *)
+
+let bench_roads_not_taken () =
+  wall (fun () ->
+      section
+        "Roads not taken: Lee-Barkley lazy buddy (global lock, per-op \
+         shared-state traffic)";
+      let open Baseline.Allocator in
+      let points =
+        Experiments.Fig7.run
+          ~whichs:[ Cookie; Newkma; Lazybuddy ]
+          ~cpus:[ 1; 2; 4; 8 ] ~iters:400 ()
+      in
+      Experiments.Fig7.print_linear points;
+      print_endline
+        "the lazy buddy is fast on one CPU (lazy frees skip the bitmap) \
+         but, as the paper argues, its global synchronization keeps it \
+         from scaling";
+      (* It does coalesce, though: the worst-case sweep completes. *)
+      let sweep =
+        Experiments.Fig9.run ~which:Lazybuddy ~memory_words:(256 * 1024) ()
+      in
+      Printf.printf "lazy buddy completes the worst-case sweep: %b\n"
+        (Experiments.Fig9.completed sweep))
+
+(* --- Native pool: Bechamel microbenchmarks --- *)
+
+let bechamel_suite () =
+  section "Native OCaml 5 pool (Bechamel, ns/op, single domain)";
+  let open Bechamel in
+  let pooled =
+    Objpool.Pool.create ~ctor:(fun () -> Bytes.create 4096) ~target:16 ()
+  in
+  let locked =
+    Objpool.Locked_pool.create ~ctor:(fun () -> Bytes.create 4096) ()
+  in
+  (* Warm both so steady state is measured. *)
+  Objpool.Pool.release pooled (Objpool.Pool.alloc pooled);
+  Objpool.Locked_pool.release locked (Objpool.Locked_pool.alloc locked);
+  let tests =
+    Test.make_grouped ~name:"pool"
+      [
+        Test.make ~name:"per-domain magazine pair"
+          (Staged.stage (fun () ->
+               let b = Objpool.Pool.alloc pooled in
+               Objpool.Pool.release pooled b));
+        Test.make ~name:"global locked pool pair"
+          (Staged.stage (fun () ->
+               let b = Objpool.Locked_pool.alloc locked in
+               Objpool.Locked_pool.release locked b));
+        Test.make ~name:"fresh Bytes.create 4096"
+          (Staged.stage (fun () -> ignore (Sys.opaque_identity (Bytes.create 4096))));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        let est =
+          match Analyze.OLS.estimates o with
+          | Some [ e ] -> Printf.sprintf "%.1f" e
+          | Some _ | None -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square o with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        [ name; est; r2 ] :: acc)
+      results []
+  in
+  Experiments.Series.table
+    ~header:[ "benchmark"; "ns/op"; "r^2" ]
+    (List.sort compare rows)
+
+(* --- Native pool: domain scaling (informational on 1-core hosts) --- *)
+
+let bench_pool_domains () =
+  wall (fun () ->
+      section "Native pool vs locked pool under domain contention";
+      let ndomains = max 2 (min 4 (Domain.recommended_domain_count ())) in
+      let ops = 100_000 in
+      let run_pooled () =
+        let p =
+          Objpool.Pool.create ~ctor:(fun () -> Bytes.create 512) ~target:32 ()
+        in
+        let worker () =
+          for _ = 1 to ops do
+            let b = Objpool.Pool.alloc p in
+            Objpool.Pool.release p b
+          done;
+          Objpool.Pool.flush_local p
+        in
+        let t0 = Unix.gettimeofday () in
+        let ds = List.init (ndomains - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join ds;
+        Unix.gettimeofday () -. t0
+      in
+      let run_locked () =
+        let p =
+          Objpool.Locked_pool.create ~ctor:(fun () -> Bytes.create 512) ()
+        in
+        let worker () =
+          for _ = 1 to ops do
+            let b = Objpool.Locked_pool.alloc p in
+            Objpool.Locked_pool.release p b
+          done
+        in
+        let t0 = Unix.gettimeofday () in
+        let ds = List.init (ndomains - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join ds;
+        Unix.gettimeofday () -. t0
+      in
+      let tp = run_pooled () and tl = run_locked () in
+      let rate t = float_of_int (ndomains * ops) /. t /. 1e6 in
+      Experiments.Series.table
+        ~header:[ "pool"; "domains"; "M ops/s" ]
+        [
+          [ "per-domain magazines"; string_of_int ndomains;
+            Experiments.Series.f1 (rate tp) ];
+          [ "single mutex"; string_of_int ndomains;
+            Experiments.Series.f1 (rate tl) ];
+        ];
+      if Domain.recommended_domain_count () < 2 then
+        print_endline
+          "note: this host has one core, so contention effects are muted \
+           (the simulated-machine figures above are the scaling result)")
+
+let sections =
+  [
+    ("analysis", bench_analysis);
+    ("opcounts", bench_opcounts);
+    ("fig7", bench_fig7);
+    ("fig9", bench_fig9);
+    ("missrates", bench_missrates);
+    ("ablation-target", bench_ablation_target);
+    ("ablation-pagepolicy", bench_ablation_page_policy);
+    ("crosscpu", bench_crosscpu);
+    ("roads-not-taken", bench_roads_not_taken);
+    ("bechamel", bechamel_suite);
+    ("pool-domains", bench_pool_domains);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (have: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested;
+  print_newline ();
+  print_endline "bench: all requested sections completed"

@@ -1,0 +1,266 @@
+(* Experiment driver: one subcommand per paper artifact.  See DESIGN.md
+   for the experiment index and EXPERIMENTS.md for recorded results. *)
+
+open Cmdliner
+
+let ints_conv = Arg.(list int)
+
+let fig7_cmd =
+  let cpus =
+    Arg.(
+      value
+      & opt ints_conv Experiments.Fig7.default_cpus
+      & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 2000
+      & info [ "iters" ] ~doc:"Timed alloc/free pairs per CPU.")
+  in
+  let bytes =
+    Arg.(value & opt int 256 & info [ "bytes" ] ~doc:"Block size.")
+  in
+  let semilog =
+    Arg.(
+      value & flag
+      & info [ "semilog" ] ~doc:"Print the Figure 8 (log10) view too.")
+  in
+  let gnuplot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "gnuplot" ] ~docv:"PREFIX"
+          ~doc:"Write PREFIX.dat and PREFIX.gp for rendering with gnuplot.")
+  in
+  let run cpus iters bytes semilog gnuplot =
+    let points = Experiments.Fig7.run ~cpus ~iters ~bytes () in
+    Experiments.Fig7.print_linear points;
+    if semilog then Experiments.Fig7.print_semilog points;
+    (match gnuplot with
+    | Some prefix ->
+        Experiments.Plot.write_fig7 points ~prefix;
+        Experiments.Plot.write_fig8 points ~prefix:(prefix ^ "-semilog");
+        Printf.printf "wrote %s.{dat,gp} and %s-semilog.{dat,gp}\n" prefix
+          prefix
+    | None -> ());
+    Printf.printf "\nsingle-CPU cookie/oldkma ratio: %.1fx\n"
+      (Experiments.Fig7.single_cpu_ratio points
+         ~num:Baseline.Allocator.Cookie ~den:Baseline.Allocator.Oldkma)
+  in
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:"Best-case pairs/s vs CPUs for all four allocators (Figure 7).")
+    Term.(const run $ cpus $ iters $ bytes $ semilog $ gnuplot)
+
+let fig8_cmd =
+  let cpus =
+    Arg.(
+      value
+      & opt ints_conv Experiments.Fig7.default_cpus
+      & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
+  in
+  let iters = Arg.(value & opt int 2000 & info [ "iters" ] ~doc:"Pairs/CPU.") in
+  let run cpus iters =
+    let points = Experiments.Fig7.run ~cpus ~iters () in
+    Experiments.Fig7.print_semilog points
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Same data as fig7 on a semilog scale (Figure 8).")
+    Term.(const run $ cpus $ iters)
+
+let fig9_cmd =
+  let which =
+    let parse s =
+      match Baseline.Allocator.of_name s with
+      | Some w -> Ok w
+      | None -> Error (`Msg ("unknown allocator " ^ s))
+    in
+    let print ppf w =
+      Format.pp_print_string ppf (Baseline.Allocator.name_of w)
+    in
+    Arg.conv (parse, print)
+  in
+  let alloc =
+    Arg.(
+      value
+      & opt which Baseline.Allocator.Newkma
+      & info [ "allocator" ] ~doc:"Allocator to sweep.")
+  in
+  let memory =
+    Arg.(
+      value & opt int (1024 * 1024)
+      & info [ "memory-words" ] ~doc:"Simulated memory size in words.")
+  in
+  let cap =
+    Arg.(
+      value & opt int 0
+      & info [ "cap" ] ~doc:"Max blocks per size (0 = until exhaustion).")
+  in
+  let gnuplot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "gnuplot" ] ~docv:"PREFIX"
+          ~doc:"Write PREFIX.dat and PREFIX.gp for rendering with gnuplot.")
+  in
+  let run w memory cap gnuplot =
+    let results = Experiments.Fig9.run ~which:w ~memory_words:memory ~cap () in
+    Experiments.Fig9.print results;
+    (match gnuplot with
+    | Some prefix ->
+        Experiments.Plot.write_fig9 results ~prefix;
+        Printf.printf "wrote %s.dat and %s.gp\n" prefix prefix
+    | None -> ());
+    if not (Experiments.Fig9.completed results) then
+      print_endline
+        "NOTE: the sweep wedged (an allocator without coalescing cannot \
+         complete this benchmark)"
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Worst-case pairs/s vs block size (Figure 9).")
+    Term.(const run $ alloc $ memory $ cap $ gnuplot)
+
+let opcounts_cmd =
+  let run () = Experiments.Opcounts.print (Experiments.Opcounts.run ()) in
+  Cmd.v
+    (Cmd.info "opcounts" ~doc:"Warm fast-path instruction counts (E2).")
+    Term.(const run $ const ())
+
+let analysis_cmd =
+  let samples =
+    Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Operations to trace.")
+  in
+  let run samples =
+    Experiments.Analysis.print (Experiments.Analysis.run ~samples ())
+  in
+  Cmd.v
+    (Cmd.info "analysis"
+       ~doc:"allocb/freeb access-cost profile on the old allocator (E1).")
+    Term.(const run $ samples)
+
+let missrates_cmd =
+  let ncpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs.") in
+  let txs =
+    Arg.(
+      value & opt int 3000
+      & info [ "transactions" ] ~doc:"Transactions per CPU.")
+  in
+  let run ncpus txs =
+    let r = Experiments.Missrates.run ~ncpus ~transactions_per_cpu:txs () in
+    Experiments.Missrates.print r;
+    if not (Experiments.Missrates.within_bounds r) then
+      print_endline "WARNING: a measured rate exceeded its analytic bound"
+  in
+  Cmd.v
+    (Cmd.info "missrates"
+       ~doc:"Per-layer miss rates under the DLM/OLTP workload (E6).")
+    Term.(const run $ ncpus $ txs)
+
+let cyclic_cmd =
+  let days = Arg.(value & opt int 3 & info [ "days" ] ~doc:"Day/night cycles.") in
+  let run days =
+    let r = Workload.Cyclic.run_kmem ~days () in
+    Experiments.Series.heading "Cyclic day/night workload (new allocator)";
+    Printf.printf
+      "day allocs: %d\nnight large allocs: %d (failures: %d)\n\
+       pages held after day: %d\npages held at night: %d\n"
+      r.Workload.Cyclic.day_allocs r.Workload.Cyclic.night_allocs
+      r.Workload.Cyclic.night_failures r.Workload.Cyclic.day_peak_pages
+      r.Workload.Cyclic.night_pages
+  in
+  Cmd.v
+    (Cmd.info "cyclic"
+       ~doc:"Day/night workload: coalescing reuses day memory at night.")
+    Term.(const run $ days)
+
+let crosscpu_cmd =
+  let pairs =
+    Arg.(value & opt int 2 & info [ "pairs" ] ~doc:"Producer/consumer pairs.")
+  in
+  let blocks =
+    Arg.(
+      value & opt int 2000
+      & info [ "blocks" ] ~doc:"Blocks transferred per pair.")
+  in
+  let run pairs blocks =
+    Experiments.Series.heading
+      "Producer/consumer flow through the global layer";
+    let rows =
+      List.map
+        (fun which ->
+          let r =
+            Workload.Crosscpu.run ~which ~pairs ~blocks_per_pair:blocks ()
+          in
+          [
+            Baseline.Allocator.name_of which;
+            Experiments.Series.sci r.Workload.Crosscpu.transfers_per_sec;
+          ])
+        (Baseline.Allocator.all @ [ Baseline.Allocator.Lazybuddy ])
+    in
+    Experiments.Series.table ~header:[ "allocator"; "transfers/s" ] rows
+  in
+  Cmd.v
+    (Cmd.info "crosscpu"
+       ~doc:"Cross-CPU producer/consumer throughput (the global layer's job).")
+    Term.(const run $ pairs $ blocks)
+
+let trace_cmd =
+  let ops =
+    Arg.(value & opt int 3000 & info [ "ops" ] ~doc:"Trace length (events).")
+  in
+  let seed = Arg.(value & opt int 13 & info [ "seed" ] ~doc:"Trace seed.") in
+  let run ops seed =
+    let t = Workload.Trace.synthesize ~ops ~seed () in
+    (match Workload.Trace.validate t with
+    | Ok () -> ()
+    | Error e -> failwith ("synthesized trace invalid: " ^ e));
+    Experiments.Series.heading
+      (Printf.sprintf "Trace replay: %d events, seed %d, one CPU"
+         (List.length t) seed);
+    let rows =
+      List.map
+        (fun which ->
+          let m =
+            Sim.Machine.create (Workload.Rig.paper_config ~ncpus:1 ())
+          in
+          let a = Baseline.Allocator.create which m in
+          let result = ref None in
+          Sim.Machine.run m
+            [| (fun _ -> result := Some (Workload.Trace.replay t a)) |];
+          let r = Option.get !result in
+          let cfg = Sim.Machine.config m in
+          [
+            Baseline.Allocator.name_of which;
+            string_of_int r.Workload.Trace.failures;
+            Experiments.Series.sci
+              (float_of_int r.Workload.Trace.ops
+              /. Sim.Config.seconds_of_cycles cfg r.Workload.Trace.cycles);
+          ])
+        (Baseline.Allocator.all @ [ Baseline.Allocator.Lazybuddy ])
+    in
+    Experiments.Series.table ~header:[ "allocator"; "failures"; "ops/s" ] rows
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Synthesize an allocation trace and replay it bit-for-bit on every \
+          allocator.")
+    Term.(const run $ ops $ seed)
+
+let default =
+  Term.(
+    ret
+      (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "kma_bench" ~version:"1.0"
+      ~doc:
+        "Reproduces the tables and figures of McKenney & Slingwine, USENIX \
+         Winter 1993."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
+            missrates_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cyclic_workload.mli:

@@ -1,0 +1,1 @@
+examples/debug_kernel.ml: Kma Sim Workload

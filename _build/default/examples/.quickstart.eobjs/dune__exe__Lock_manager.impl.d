@@ -1,0 +1,1 @@
+examples/lock_manager.ml: Array Dlm Float Kma Printf Sim Workload

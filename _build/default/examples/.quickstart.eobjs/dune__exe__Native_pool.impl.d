@@ -1,0 +1,1 @@
+examples/native_pool.ml: Bytes Domain List Objpool Printf Queue Unix

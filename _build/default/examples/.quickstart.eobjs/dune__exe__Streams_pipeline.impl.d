@@ -1,0 +1,1 @@
+examples/streams_pipeline.ml: Baseline Option Printf Sim Streams Workload

@@ -1,0 +1,1 @@
+examples/streams_pipeline.mli:

@@ -1,0 +1,45 @@
+(* The paper's realistic application: a distributed lock manager serving
+   OLTP transactions on four CPUs, with every tracking structure
+   allocated from the kernel allocator.  Prints the throughput and the
+   per-layer miss rates the paper reports for this workload.
+
+     dune exec examples/lock_manager.exe *)
+
+let () =
+  let ncpus = 4 in
+  let cfg = Workload.Rig.paper_config ~ncpus () in
+  let machine = Sim.Machine.create cfg in
+  let kmem =
+    Kma.Kmem.create machine
+      ~params:(Kma.Params.auto ~memory_words:cfg.Sim.Config.memory_words)
+      ()
+  in
+  let result =
+    Dlm.Oltp.run ~kmem ~ncpus ~transactions_per_cpu:1500 ~resources:2048 ()
+  in
+  Printf.printf "OLTP run: %d transactions, %d lock grants, %d conflicts\n"
+    result.Dlm.Oltp.transactions result.Dlm.Oltp.grants
+    result.Dlm.Oltp.rejects;
+  Printf.printf "%.0f transactions/s of simulated time\n\n"
+    (float_of_int result.Dlm.Oltp.transactions
+    /. Sim.Config.seconds_of_cycles cfg result.Dlm.Oltp.cycles);
+  let stats = Kma.Kmem.stats kmem in
+  let p = Kma.Kmem.params kmem in
+  print_endline
+    "size   allocs   pcpu-miss  gbl-miss   (fraction of ops needing the \
+     next layer)";
+  Array.iteri
+    (fun si bytes ->
+      let s = Kma.Kstats.size stats si in
+      if s.Kma.Kstats.allocs > 500 then
+        Printf.printf "%5d  %7d  %8.2f%%  %7.2f%%\n" bytes
+          s.Kma.Kstats.allocs
+          (100. *. Kma.Kstats.percpu_alloc_miss_rate stats ~si)
+          (100.
+          *.
+          let r = Kma.Kstats.global_alloc_miss_rate stats ~si in
+          if Float.is_nan r then 0. else r))
+    p.Kma.Params.sizes_bytes;
+  Printf.printf
+    "\nworst-case bounds: per-CPU 1/target, global 1/gbltarget — the \
+     paper's DLM measured 2.1-7.8%% and 1.2-3.0%%\n"

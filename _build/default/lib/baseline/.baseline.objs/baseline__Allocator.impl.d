@@ -1,0 +1,1 @@
+lib/baseline/allocator.ml: Array Kma Lazybuddy Mk Oldkma Sim

@@ -1,0 +1,1 @@
+lib/baseline/lazybuddy.ml: Array Config Machine Memory Sim Spinlock

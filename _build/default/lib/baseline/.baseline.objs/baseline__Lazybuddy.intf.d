@@ -1,0 +1,1 @@
+lib/baseline/lazybuddy.mli: Sim

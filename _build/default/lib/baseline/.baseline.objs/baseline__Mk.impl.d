@@ -1,0 +1,1 @@
+lib/baseline/mk.ml: Array Config Machine Memory Sim Spinlock

@@ -1,0 +1,1 @@
+lib/baseline/mk.mli: Sim

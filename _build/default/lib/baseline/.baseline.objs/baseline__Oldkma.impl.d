@@ -1,0 +1,1 @@
+lib/baseline/oldkma.ml: Config Machine Memory Sim Spinlock

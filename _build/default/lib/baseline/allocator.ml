@@ -1,0 +1,99 @@
+type t = {
+  name : string;
+  alloc : bytes:int -> int;
+  free : addr:int -> bytes:int -> unit;
+}
+
+type which = Cookie | Newkma | Mk | Oldkma | Lazybuddy
+
+let all = [ Cookie; Newkma; Mk; Oldkma ]
+
+let name_of = function
+  | Cookie -> "cookie"
+  | Newkma -> "newkma"
+  | Mk -> "mk"
+  | Oldkma -> "oldkma"
+  | Lazybuddy -> "lazybuddy"
+
+let of_name = function
+  | "cookie" -> Some Cookie
+  | "newkma" -> Some Newkma
+  | "mk" -> Some Mk
+  | "oldkma" -> Some Oldkma
+  | "lazybuddy" -> Some Lazybuddy
+  | _ -> None
+
+let auto_params machine =
+  Kma.Params.auto
+    ~memory_words:(Sim.Machine.config machine).Sim.Config.memory_words
+
+let create_cookie machine =
+  let kmem = Kma.Kmem.create machine ~params:(auto_params machine) () in
+  (* One cookie per size class, resolved host-side: the paper's
+     compile-time-size usage. *)
+  let p = Kma.Kmem.params kmem in
+  let cookies =
+    Array.map
+      (fun bytes -> Kma.Cookie.of_bytes_host kmem ~bytes)
+      p.Kma.Params.sizes_bytes
+  in
+  let cookie_for bytes =
+    match Kma.Params.size_index_of_bytes p bytes with
+    | Some si -> Some cookies.(si)
+    | None -> None
+  in
+  {
+    name = "cookie";
+    alloc =
+      (fun ~bytes ->
+        match cookie_for bytes with
+        | Some c -> ( match Kma.Cookie.try_alloc kmem c with Some a -> a | None -> 0)
+        | None -> ( match Kma.Kmem.try_alloc kmem ~bytes with Some a -> a | None -> 0));
+    free =
+      (fun ~addr ~bytes ->
+        match cookie_for bytes with
+        | Some c -> Kma.Cookie.free kmem c addr
+        | None -> Kma.Kmem.free kmem ~addr ~bytes);
+  }
+
+let create_newkma machine =
+  let kmem = Kma.Kmem.create machine ~params:(auto_params machine) () in
+  {
+    name = "newkma";
+    alloc =
+      (fun ~bytes ->
+        match Kma.Kmem.try_alloc kmem ~bytes with Some a -> a | None -> 0);
+    free = (fun ~addr ~bytes -> Kma.Kmem.free kmem ~addr ~bytes);
+  }
+
+let create_mk machine =
+  let mk = Mk.create machine in
+  {
+    name = "mk";
+    alloc = (fun ~bytes -> Mk.alloc mk ~bytes);
+    free = (fun ~addr ~bytes -> Mk.free_sized mk ~addr ~bytes);
+  }
+
+let create_oldkma machine =
+  let o = Oldkma.create machine in
+  {
+    name = "oldkma";
+    alloc = (fun ~bytes -> Oldkma.alloc o ~bytes);
+    free = (fun ~addr ~bytes -> Oldkma.free_sized o ~addr ~bytes);
+  }
+
+let create_lazybuddy machine =
+  let b = Lazybuddy.create machine in
+  {
+    name = "lazybuddy";
+    alloc = (fun ~bytes -> Lazybuddy.alloc b ~bytes);
+    free = (fun ~addr ~bytes -> Lazybuddy.free b ~addr ~bytes);
+  }
+
+let create which machine =
+  match which with
+  | Cookie -> create_cookie machine
+  | Newkma -> create_newkma machine
+  | Mk -> create_mk machine
+  | Oldkma -> create_oldkma machine
+  | Lazybuddy -> create_lazybuddy machine

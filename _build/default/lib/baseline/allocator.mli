@@ -1,0 +1,35 @@
+(** Uniform handle over the four allocators the paper benchmarks, so the
+    experiment harness can drive any of them through one interface.
+
+    Each [create_*] boots the corresponding allocator into a machine's
+    memory (use a fresh machine per allocator — they each assume they
+    own the address space). *)
+
+type t = {
+  name : string;
+  alloc : bytes:int -> int;
+      (** simulated; returns 0 on memory exhaustion *)
+  free : addr:int -> bytes:int -> unit;  (** simulated *)
+}
+
+type which =
+  | Cookie
+  | Newkma
+  | Mk
+  | Oldkma
+  | Lazybuddy
+      (** the Lee–Barkley watermark lazy buddy from the paper's "Roads
+          Not Taken" (an extension: not one of Figure 7's four traces) *)
+
+val all : which list
+(** The paper's four Figure 7 traces, in legend order ([Lazybuddy] is
+    extra and not included). *)
+
+val name_of : which -> string
+val of_name : string -> which option
+
+val create : which -> Sim.Machine.t -> t
+(** [create which machine] boots allocator [which] in [machine].  For
+    [Cookie] the returned [alloc]/[free] use a per-size cookie cache, so
+    every size the benchmark touches pays the translation only once —
+    the paper's compile-time-size usage. *)

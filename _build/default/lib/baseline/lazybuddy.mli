@@ -1,0 +1,55 @@
+(** A watermark-based lazy buddy system, after Lee & Barkley ("Design
+    and evaluation of a watermark-based lazy buddy system", Performance
+    Evaluation Review 17(1), 1989) — the allocator the paper's "Roads
+    Not Taken" section considers and rejects for multiprocessors:
+
+    "it requires global synchronization on each operation and fails to
+    maintain good locality of reference (since each block is sent
+    singly to be coalesced, rather than being sent in large groups)".
+
+    Design (simplified but faithful in the properties the paper's
+    comparison uses):
+
+    - classic binary buddy over a power-of-two arena, classes 16 B to
+      4 KiB, one global spinlock;
+    - frees are {e lazy}: while a class has comfortable slack, a freed
+      block is pushed {e locally free} — no buddy lookup, no bitmap
+      traffic — giving buddy-quality coalescing at near-freelist speed
+      on one CPU;
+    - the slack rule ([slack = inuse - 2 * lazy - global], per class)
+      triggers coalescing as a class's free population grows out of
+      proportion: the block (and, at zero slack, one extra lazy block)
+      is marked in the buddy bitmap and merged upward while its buddy
+      is globally free;
+    - every operation still takes the global lock and touches shared
+      counters and bitmaps, which is precisely why it cannot scale —
+      the property demonstrated in the benchmarks.
+
+    Blocks are tracked in packed per-class bitmaps (set = globally
+    free), so lazily-freed blocks are invisible to coalescing, as in
+    the original design. *)
+
+type t
+
+val create : Sim.Machine.t -> t
+(** Boots the buddy system owning the memory above its control
+    structures (host-side). *)
+
+val alloc : t -> bytes:int -> int
+(** Simulated; 0 when no block (after splitting) can satisfy the
+    request.  Requests above 4096 bytes return 0. *)
+
+val free : t -> addr:int -> bytes:int -> unit
+(** Simulated.  Lazy or coalescing per the slack rule. *)
+
+(** {1 Host-side oracles} *)
+
+val counters_oracle : t -> si:int -> int * int * int
+(** [(inuse, lazy, global)] for a size class. *)
+
+val largest_free_oracle : t -> int
+(** Size in bytes of the largest globally-free block (what a new
+    maximal allocation could get without lazy coalescing help). *)
+
+val total_free_words_oracle : t -> int
+(** Lazy + global free words across all classes. *)

@@ -1,0 +1,33 @@
+(** Naive parallelization of the McKusick–Karels allocator.
+
+    Power-of-two freelists with a per-page size record ([kmemsizes]), as
+    in the 4.3BSD allocator, wrapped in a single global spinlock — the
+    paper's "mk" baseline.  Faithful properties:
+
+    - extremely cheap uniprocessor fast path (a handful of instructions
+      plus the lock);
+    - free recovers the size class from [kmemsizes], so callers need not
+      pass a size;
+    - {b no coalescing}: pages carved for one size class are never
+      reusable for another, so the worst-case benchmark permanently
+      fragments memory (the paper notes such an allocator "would fail to
+      complete this benchmark");
+    - all freelist heads share cache lines and every operation takes the
+      same lock, so multiprocessor traffic collapses the throughput.
+
+    Requests larger than the biggest class return 0. *)
+
+type t
+
+val create : Sim.Machine.t -> t
+(** Boots the allocator owning all of [machine]'s memory above the
+    control words (host-side). *)
+
+val alloc : t -> bytes:int -> int
+(** Simulated; 0 when the arena is exhausted (it never refills). *)
+
+val free : t -> addr:int -> unit
+(** Simulated.  The size class comes from [kmemsizes]. *)
+
+val free_sized : t -> addr:int -> bytes:int -> unit
+(** {!free} ignoring the redundant size, for the common interface. *)

@@ -1,0 +1,1 @@
+lib/dlm/lockmgr.ml: Array Baseline Machine Printf Sim

@@ -1,0 +1,1 @@
+lib/dlm/lockmgr.mli: Baseline

@@ -1,0 +1,1 @@
+lib/dlm/oltp.ml: Array Baseline Kma List Lockmgr Option Prng Queue Sim Workload

@@ -1,0 +1,1 @@
+lib/dlm/oltp.mli: Kma Lockmgr

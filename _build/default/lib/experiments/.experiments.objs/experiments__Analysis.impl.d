@@ -1,0 +1,1 @@
+lib/experiments/analysis.ml: Baseline List Series Sim Streams Workload

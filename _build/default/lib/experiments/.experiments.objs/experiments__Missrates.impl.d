@@ -1,0 +1,1 @@
+lib/experiments/missrates.ml: Array Dlm Float Fun Kma List Printf Series Sim Workload

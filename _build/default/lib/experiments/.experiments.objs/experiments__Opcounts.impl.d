@@ -1,0 +1,1 @@
+lib/experiments/opcounts.ml: Baseline Kma List Series Sim Workload

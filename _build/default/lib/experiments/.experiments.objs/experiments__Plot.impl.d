@@ -1,0 +1,1 @@
+lib/experiments/plot.ml: Baseline Buffer Fig7 Float Fun List Printf String Workload

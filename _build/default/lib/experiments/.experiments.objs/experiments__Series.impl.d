@@ -1,0 +1,1 @@
+lib/experiments/series.ml: Array Float List Printf String

@@ -1,0 +1,38 @@
+(** Experiment E1 — the paper's Analysis section: why the old
+    allocator underperformed its instruction counts.
+
+    Reproduces the logic-analyzer study of [allocb]/[freeb] on the old
+    allocator: two CPUs run STREAMS buffer traffic over oldkma, and the
+    cache model's trace hook records the cost of every memory access
+    CPU 0 makes.  We report, for [allocb] and [freeb] separately:
+
+    - the fixed (no-stall) instruction time of an operation;
+    - min / mean / max measured times (stalls included);
+    - the access-cost concentration: the smallest fraction of accesses
+      accounting for over half the elapsed time.
+
+    The paper measured [allocb] at 12.5 us fixed vs 28–198 us observed
+    (mean 64.2), with the worst 6.3% of off-chip accesses accounting
+    for 57.6% of the elapsed time; our shape criterion is that a small
+    minority of accesses dominates. *)
+
+type op_profile = {
+  op : string;
+  samples : int;
+  fixed_cycles : int;  (** retired instructions only, no stalls *)
+  min_cycles : int;
+  mean_cycles : float;
+  max_cycles : int;
+  accesses : int;  (** traced accesses across samples *)
+  stall_cycles : int;
+  worst_share_accesses : float;
+      (** fraction of accesses in the most expensive set that covers
+          half of the total stall time *)
+  worst_share_elapsed : float;
+      (** the share of total elapsed time that set accounts for *)
+}
+
+val run : ?samples:int -> ?bytes:int -> unit -> op_profile list
+(** [run ()] profiles [allocb] then [freeb] (two entries). *)
+
+val print : op_profile list -> unit

@@ -1,0 +1,26 @@
+let run ?(which = Baseline.Allocator.Newkma)
+    ?(memory_words = 1024 * 1024) ?(cap = 0) () =
+  let config = Workload.Rig.paper_config ~memory_words ~ncpus:1 () in
+  Workload.Worstcase.run ~which ~config ~cap ()
+
+let print results =
+  Series.heading
+    "Figure 9: worst-case performance vs block size (alloc all, free all)";
+  Series.table
+    ~header:[ "bytes"; "blocks"; "allocs/s"; "frees/s"; "pairs/s" ]
+    (List.map
+       (fun r ->
+         let open Workload.Worstcase in
+         [
+           string_of_int r.bytes;
+           string_of_int r.blocks;
+           Series.sci r.allocs_per_sec;
+           Series.sci r.frees_per_sec;
+           Series.sci r.pairs_per_sec;
+         ])
+       results)
+
+let completed results =
+  List.for_all
+    (fun r -> r.Workload.Worstcase.blocks > 10)
+    results

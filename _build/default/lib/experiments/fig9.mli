@@ -1,0 +1,20 @@
+(** Experiment E5 — the paper's Figure 9: worst-case alloc/free pairs
+    per second versus block size, on the new allocator.
+
+    Also exposed: the same sweep on the baselines, demonstrating the
+    paper's side claims that an allocator without coalescing (mk) fails
+    to complete the benchmark, while oldkma completes it slowly. *)
+
+val run :
+  ?which:Baseline.Allocator.which ->
+  ?memory_words:int ->
+  ?cap:int ->
+  unit ->
+  Workload.Worstcase.size_result list
+
+val print : Workload.Worstcase.size_result list -> unit
+(** Rows: block size, blocks obtained, alloc/s, free/s, pairs/s. *)
+
+val completed : Workload.Worstcase.size_result list -> bool
+(** True when every size obtained a nontrivial number of blocks — the
+    "no reboots, no delays" criterion. *)

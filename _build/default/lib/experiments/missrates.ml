@@ -1,0 +1,101 @@
+type row = {
+  bytes : int;
+  allocs : int;
+  gbl_ops : int;
+  alloc_pcpu : float;
+  free_pcpu : float;
+  alloc_gbl : float;
+  free_gbl : float;
+  alloc_combined : float;
+  free_combined : float;
+}
+
+type result = {
+  oltp : Dlm.Oltp.result;
+  rows : row list;
+  target : int;
+  gbltarget : int;
+}
+
+let target = 10
+let gbltarget = 15
+
+let run ?(ncpus = 4) ?(transactions_per_cpu = 3000) ?(seed = 11) () =
+  let cfg = Workload.Rig.paper_config ~ncpus () in
+  let m = Sim.Machine.create cfg in
+  let params =
+    let base = Kma.Params.auto ~memory_words:cfg.Sim.Config.memory_words in
+    Kma.Params.make ~vmblk_pages:base.Kma.Params.vmblk_pages
+      ~targets:(Array.make 9 target)
+      ~gbltargets:(Array.make 9 gbltarget)
+      ()
+  in
+  let kmem = Kma.Kmem.create m ~params () in
+  let oltp = Dlm.Oltp.run ~kmem ~ncpus ~transactions_per_cpu ~seed () in
+  let stats = Kma.Kmem.stats kmem in
+  let p = Kma.Kmem.params kmem in
+  let rows =
+    List.filter_map
+      (fun si ->
+        let s = Kma.Kstats.size stats si in
+        if s.Kma.Kstats.allocs < 100 then None
+        else
+          Some
+            {
+              bytes = p.Kma.Params.sizes_bytes.(si);
+              allocs = s.Kma.Kstats.allocs;
+              gbl_ops = s.Kma.Kstats.gbl_gets + s.Kma.Kstats.gbl_puts;
+              alloc_pcpu = Kma.Kstats.percpu_alloc_miss_rate stats ~si;
+              free_pcpu = Kma.Kstats.percpu_free_miss_rate stats ~si;
+              alloc_gbl = Kma.Kstats.global_alloc_miss_rate stats ~si;
+              free_gbl = Kma.Kstats.global_free_miss_rate stats ~si;
+              alloc_combined = Kma.Kstats.combined_alloc_miss_rate stats ~si;
+              free_combined = Kma.Kstats.combined_free_miss_rate stats ~si;
+            })
+      (List.init (Kma.Params.nsizes p) Fun.id)
+  in
+  { oltp; rows; target; gbltarget }
+
+let print r =
+  Series.heading
+    (Printf.sprintf
+       "DLM miss rates (%d CPUs, %d transactions, target=%d gbltarget=%d)"
+       r.oltp.Dlm.Oltp.ncpus r.oltp.Dlm.Oltp.transactions r.target r.gbltarget);
+  Series.table
+    ~header:
+      [
+        "bytes"; "pcpu alloc"; "pcpu free"; "gbl alloc"; "gbl free";
+        "comb alloc"; "comb free";
+      ]
+    (List.map
+       (fun row ->
+         [
+           string_of_int row.bytes;
+           Series.pct row.alloc_pcpu;
+           Series.pct row.free_pcpu;
+           Series.pct row.alloc_gbl;
+           Series.pct row.free_gbl;
+           Series.pct row.alloc_combined;
+           Series.pct row.free_combined;
+         ])
+       r.rows);
+  Printf.printf "bounds: pcpu <= %s, global <= %s, combined <= %s\n"
+    (Series.pct (1. /. float_of_int r.target))
+    (Series.pct (1. /. float_of_int r.gbltarget))
+    (Series.pct (1. /. float_of_int (r.target * r.gbltarget)))
+
+(* The analytic bounds are steady-state; a layer that was touched only
+   a handful of times is all warm-up, so rate checks apply only where
+   there is enough traffic to amortise the first refill. *)
+let within_bounds r =
+  let ok v bound = Float.is_nan v || v <= bound in
+  let pb = 1. /. float_of_int r.target in
+  let gb = 1. /. float_of_int r.gbltarget in
+  let cb = 1. /. float_of_int (r.target * r.gbltarget) in
+  List.for_all
+    (fun row ->
+      (row.allocs < 1000
+      || ok row.alloc_pcpu pb && ok row.free_pcpu pb
+         && ok row.alloc_combined cb && ok row.free_combined cb)
+      && (row.gbl_ops < 200 || (ok row.alloc_gbl gb && ok row.free_gbl gb)))
+    r.rows

@@ -1,0 +1,95 @@
+type row = { interface : string; alloc_insns : int; free_insns : int }
+
+let measure_pair m f_alloc f_free =
+  (* Warm the caches and the per-CPU freelists, then measure single
+     operations by the retired-instruction delta. *)
+  let a = f_alloc () in
+  f_free a;
+  let a = f_alloc () in
+  f_free a;
+  let r0 = Sim.Machine.retired m ~cpu:0 in
+  let a = f_alloc () in
+  let r1 = Sim.Machine.retired m ~cpu:0 in
+  f_free a;
+  let r2 = Sim.Machine.retired m ~cpu:0 in
+  (r1 - r0, r2 - r1)
+
+let run () =
+  let bytes = 256 in
+  let rows = ref [] in
+  (* New allocator: cookie and standard interfaces share a machine. *)
+  let m =
+    Sim.Machine.create (Workload.Rig.paper_config ~ncpus:1 ())
+  in
+  let kmem =
+    Kma.Kmem.create m
+      ~params:
+        (Kma.Params.auto
+           ~memory_words:(Sim.Machine.config m).Sim.Config.memory_words)
+      ()
+  in
+  Sim.Machine.run m
+    [|
+      (fun _ ->
+        let c = Kma.Cookie.of_bytes_host kmem ~bytes in
+        let ca, cf =
+          measure_pair m
+            (fun () -> Kma.Cookie.alloc kmem c)
+            (fun a -> Kma.Cookie.free kmem c a)
+        in
+        rows :=
+          { interface = "cookie macros"; alloc_insns = ca; free_insns = cf }
+          :: !rows;
+        let sa, sf =
+          measure_pair m
+            (fun () -> Kma.Kmem.alloc kmem ~bytes)
+            (fun a -> Kma.Kmem.free kmem ~addr:a ~bytes)
+        in
+        rows :=
+          {
+            interface = "standard kmem_alloc";
+            alloc_insns = sa;
+            free_insns = sf;
+          }
+          :: !rows);
+    |];
+  (* MK baseline on its own machine. *)
+  let m2 = Sim.Machine.create (Workload.Rig.paper_config ~ncpus:1 ()) in
+  let mk = Baseline.Mk.create m2 in
+  Sim.Machine.run m2
+    [|
+      (fun _ ->
+        let ma, mf =
+          measure_pair m2
+            (fun () -> Baseline.Mk.alloc mk ~bytes)
+            (fun a -> Baseline.Mk.free mk ~addr:a)
+        in
+        rows :=
+          {
+            interface = "mk (plus global lock)";
+            alloc_insns = ma;
+            free_insns = mf;
+          }
+          :: !rows);
+    |];
+  List.rev !rows
+
+let print rows =
+  Series.heading "Instruction counts (warm fast paths, simulated insns)";
+  Series.table
+    ~header:[ "interface"; "alloc"; "free"; "paper" ]
+    (List.map
+       (fun r ->
+         let paper =
+           match r.interface with
+           | "cookie macros" -> "13 / 13 (80x86)"
+           | "standard kmem_alloc" -> "35 / 32 (80x86)"
+           | _ -> "9 / 16 (VAX)"
+         in
+         [
+           r.interface;
+           string_of_int r.alloc_insns;
+           string_of_int r.free_insns;
+           paper;
+         ])
+       rows)

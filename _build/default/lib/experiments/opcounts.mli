@@ -1,0 +1,12 @@
+(** Experiment E2 — the paper's instruction counts.
+
+    Measures retired simulated instructions on the warm fast paths:
+    cookie alloc/free (paper: 13 each on 80x86) and the standard
+    functional interface (paper: 35 alloc, 32 free), plus the MK
+    baseline for reference (paper: 9/16 VAX instructions, which carry
+    more work per instruction than 80x86 ones). *)
+
+type row = { interface : string; alloc_insns : int; free_insns : int }
+
+val run : unit -> row list
+val print : row list -> unit

@@ -1,0 +1,15 @@
+(** Gnuplot output: render Figures 7, 8 and 9 as the paper printed
+    them.
+
+    [write_* ~prefix] writes [<prefix>.dat] (whitespace-separated
+    columns with a [#] header) and [<prefix>.gp] (a self-contained
+    script producing [<prefix>.png]); run [gnuplot <prefix>.gp]. *)
+
+val write_fig7 : Fig7.point list -> prefix:string -> unit
+(** Linear axes (Figure 7) — one series per allocator. *)
+
+val write_fig8 : Fig7.point list -> prefix:string -> unit
+(** The same data with a logarithmic y axis (Figure 8). *)
+
+val write_fig9 : Workload.Worstcase.size_result list -> prefix:string -> unit
+(** Pairs/s vs block size, logarithmic x axis (Figure 9). *)

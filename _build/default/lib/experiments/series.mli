@@ -1,0 +1,20 @@
+(** Row/series printing for the experiment harness: aligned tables on
+    stdout and machine-readable TSV. *)
+
+val table : header:string list -> string list list -> unit
+(** [table ~header rows] prints an aligned table. *)
+
+val tsv : header:string list -> string list list -> unit
+
+val f1 : float -> string
+(** One decimal. *)
+
+val f3 : float -> string
+val sci : float -> string
+(** Scientific, three significant digits (e.g. ["1.23e+06"]). *)
+
+val pct : float -> string
+(** Percentage with two decimals; ["-"] for NaN. *)
+
+val heading : string -> unit
+(** Print an underlined section heading. *)

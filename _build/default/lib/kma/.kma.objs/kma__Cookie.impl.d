@@ -1,0 +1,1 @@
+lib/kma/cookie.ml: Array Ctx Kmem Machine Params Percpu Printf Sim

@@ -1,0 +1,1 @@
+lib/kma/cookie.mli: Kmem

@@ -1,0 +1,1 @@
+lib/kma/ctx.ml: Kstats Layout Sim

@@ -1,0 +1,1 @@
+lib/kma/ctx.mli: Kstats Layout Params Sim

@@ -1,0 +1,1 @@
+lib/kma/freelist.ml: Machine Memory Sim

@@ -1,0 +1,1 @@
+lib/kma/freelist.mli: Sim

@@ -1,0 +1,1 @@
+lib/kma/global.ml: Array Ctx Freelist Kstats Layout Machine Memory Pagepool Params Sim

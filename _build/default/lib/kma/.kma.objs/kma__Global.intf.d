@@ -1,0 +1,1 @@
+lib/kma/global.mli: Ctx

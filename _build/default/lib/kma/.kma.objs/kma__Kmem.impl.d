@@ -1,0 +1,1 @@
+lib/kma/kmem.ml: Array Ctx Global Kstats Layout Machine Memory Pagepool Params Percpu Sim Spinlock Vmblk Vmsys

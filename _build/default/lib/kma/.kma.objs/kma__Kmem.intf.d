@@ -1,0 +1,1 @@
+lib/kma/kmem.mli: Ctx Kstats Layout Params Sim

@@ -1,0 +1,1 @@
+lib/kma/kstats.ml: Array Float Format

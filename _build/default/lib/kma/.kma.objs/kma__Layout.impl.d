@@ -1,0 +1,1 @@
+lib/kma/layout.ml: Array Params Printf Sim

@@ -1,0 +1,1 @@
+lib/kma/layout.mli: Params Sim

@@ -1,0 +1,1 @@
+lib/kma/objcache.ml: Cookie Kmem Layout Machine Params Sim

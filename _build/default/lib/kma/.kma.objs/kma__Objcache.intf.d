@@ -1,0 +1,1 @@
+lib/kma/objcache.mli: Kmem

@@ -1,0 +1,1 @@
+lib/kma/pagepool.ml: Array Ctx Freelist Kstats Layout List Machine Memory Params Sim Vmblk

@@ -1,0 +1,1 @@
+lib/kma/pagepool.mli: Ctx

@@ -1,0 +1,1 @@
+lib/kma/params.ml: Array Option

@@ -1,0 +1,1 @@
+lib/kma/percpu.ml: Array Ctx Freelist Global Kstats Layout Machine Memory Params Printf Sim

@@ -1,0 +1,1 @@
+lib/kma/percpu.mli: Ctx

@@ -1,0 +1,1 @@
+lib/kma/vmblk.ml: Ctx Kstats Layout List Machine Memory Params Sim Vmsys

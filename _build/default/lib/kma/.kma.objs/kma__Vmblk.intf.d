@@ -1,0 +1,1 @@
+lib/kma/vmblk.mli: Ctx

@@ -1,0 +1,20 @@
+(** Shared allocator context threaded through every layer.
+
+    Created once at boot by {!Kmem.create}; the layer modules
+    ({!Percpu}, {!Global}, {!Pagepool}, {!Vmblk}) keep all their mutable
+    state in simulated memory and use this record only for the machine
+    handle, the layout constants, the lock handles and the host-side
+    instrumentation. *)
+
+type t = {
+  machine : Sim.Machine.t;
+  layout : Layout.t;
+  vmsys : Sim.Vmsys.t;
+  stats : Kstats.t;
+  glocks : Sim.Spinlock.t array;  (** per-size global-layer locks *)
+  plocks : Sim.Spinlock.t array;  (** per-size coalesce-to-page locks *)
+  vlock : Sim.Spinlock.t;  (** coalesce-to-vmblk lock *)
+}
+
+val memory : t -> Sim.Memory.t
+val params : t -> Params.t

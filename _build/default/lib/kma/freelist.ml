@@ -1,0 +1,46 @@
+open Sim
+
+let link = 0
+let next_list = 1
+let count = 2
+
+let push ~head a =
+  Machine.write (a + link) (Machine.read head);
+  Machine.write head a
+
+let pop ~head =
+  let a = Machine.read head in
+  if a <> 0 then Machine.write head (Machine.read (a + link));
+  a
+
+let take_n ~head ~n =
+  let rec go acc taken =
+    if taken >= n then (acc, taken)
+    else
+      let a = pop ~head in
+      if a = 0 then (acc, taken)
+      else begin
+        Machine.write (a + link) acc;
+        go a (taken + 1)
+      end
+  in
+  go 0 0
+
+let iter_chain h f =
+  let rec go a =
+    if a <> 0 then begin
+      let next = Machine.read (a + link) in
+      f a ~next;
+      go next
+    end
+  in
+  go h
+
+let length_oracle mem h =
+  let rec go a n =
+    if a = 0 then n
+    else if n > 1_000_000 then
+      invalid_arg "Kma.Freelist.length_oracle: probable cycle"
+    else go (Memory.get mem (a + link)) (n + 1)
+  in
+  go h 0

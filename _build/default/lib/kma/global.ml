@@ -1,0 +1,183 @@
+open Sim
+
+(* Record layout at [Layout.gbl_addr] (lock occupies the first line):
+   +line+0 gblfree head (first block of first list)
+   +line+1 number of lists on gblfree
+   +line+2 bucket head
+   +line+3 bucket count *)
+
+let fld (ly : Layout.t) ~si i = Layout.gbl_addr ly ~si + ly.Layout.line_words + i
+let f_head ly ~si = fld ly ~si 0
+let f_nlists ly ~si = fld ly ~si 1
+let f_bucket ly ~si = fld ly ~si 2
+let f_bucket_cnt ly ~si = fld ly ~si 3
+
+let boot_init (ctx : Ctx.t) =
+  let mem = Ctx.memory ctx in
+  let ly = ctx.Ctx.layout in
+  for si = 0 to ly.Layout.nsizes - 1 do
+    Memory.set mem (f_head ly ~si) 0;
+    Memory.set mem (f_nlists ly ~si) 0;
+    Memory.set mem (f_bucket ly ~si) 0;
+    Memory.set mem (f_bucket_cnt ly ~si) 0
+  done
+
+let target (ctx : Ctx.t) si = (Ctx.params ctx).Params.targets.(si)
+let gbltarget (ctx : Ctx.t) si = (Ctx.params ctx).Params.gbltargets.(si)
+
+(* --- list-of-lists primitives (lock held) --- *)
+
+let push_list ctx ~si head ~count =
+  let ly = ctx.Ctx.layout in
+  Machine.write (head + Freelist.next_list) (Machine.read (f_head ly ~si));
+  Machine.write (head + Freelist.count) count;
+  Machine.write (f_head ly ~si) head;
+  Machine.write (f_nlists ly ~si) (Machine.read (f_nlists ly ~si) + 1)
+
+let pop_list ctx ~si =
+  let ly = ctx.Ctx.layout in
+  let head = Machine.read (f_head ly ~si) in
+  if head = 0 then (0, 0)
+  else begin
+    Machine.write (f_head ly ~si) (Machine.read (head + Freelist.next_list));
+    Machine.write (f_nlists ly ~si) (Machine.read (f_nlists ly ~si) - 1);
+    (head, Machine.read (head + Freelist.count))
+  end
+
+(* Move up to [n] blocks off the bucket into a fresh chain. *)
+let take_from_bucket ctx ~si ~n =
+  let ly = ctx.Ctx.layout in
+  let cnt = Machine.read (f_bucket_cnt ly ~si) in
+  if cnt = 0 then (0, 0)
+  else begin
+    let head, taken = Freelist.take_n ~head:(f_bucket ly ~si) ~n in
+    Machine.write (f_bucket_cnt ly ~si) (cnt - taken);
+    (head, taken)
+  end
+
+(* Drain [gbltarget] lists down to the coalesce-to-page layer (overflow
+   hysteresis). *)
+let drain ctx ~si =
+  let st = Kstats.size ctx.Ctx.stats si in
+  st.Kstats.gbl_put_misses <- st.Kstats.gbl_put_misses + 1;
+  for _ = 1 to gbltarget ctx si do
+    let head, count = pop_list ctx ~si in
+    if head <> 0 then Pagepool.put_blocks ctx ~si ~head ~count
+  done
+
+(* Refill up to [gbltarget] lists from the coalesce-to-page layer
+   (underflow hysteresis).  Short lists go via the bucket so gblfree
+   only ever carries full lists from this path. *)
+let refill ctx ~si =
+  let ly = ctx.Ctx.layout in
+  let st = Kstats.size ctx.Ctx.stats si in
+  st.Kstats.gbl_get_misses <- st.Kstats.gbl_get_misses + 1;
+  let tgt = target ctx si in
+  let want_lists = gbltarget ctx si in
+  let rec go n =
+    if n < want_lists then begin
+      let head, got = Pagepool.get_blocks ctx ~si ~want:tgt in
+      if got = tgt then begin
+        push_list ctx ~si head ~count:tgt;
+        go (n + 1)
+      end
+      else if got > 0 then begin
+        (* Memory is running out: keep the stragglers on the bucket. *)
+        let bcnt = Machine.read (f_bucket_cnt ly ~si) in
+        Freelist.iter_chain head (fun blk ~next:_ ->
+            Freelist.push ~head:(f_bucket ly ~si) blk);
+        Machine.write (f_bucket_cnt ly ~si) (bcnt + got)
+      end
+    end
+  in
+  go 0
+
+let get_list (ctx : Ctx.t) ~si =
+  let st = Kstats.size ctx.Ctx.stats si in
+  Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->
+      st.Kstats.gbl_gets <- st.Kstats.gbl_gets + 1;
+      let head, count = pop_list ctx ~si in
+      if head <> 0 then (head, count)
+      else begin
+        let tgt = target ctx si in
+        let bh, bc = take_from_bucket ctx ~si ~n:tgt in
+        if bc > 0 then (bh, bc)
+        else begin
+          refill ctx ~si;
+          let head, count = pop_list ctx ~si in
+          if head <> 0 then (head, count) else take_from_bucket ctx ~si ~n:tgt
+        end
+      end)
+
+let put_list (ctx : Ctx.t) ~si ~head ~count =
+  let ly = ctx.Ctx.layout in
+  let st = Kstats.size ctx.Ctx.stats si in
+  Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->
+      st.Kstats.gbl_puts <- st.Kstats.gbl_puts + 1;
+      push_list ctx ~si head ~count;
+      if Machine.read (f_nlists ly ~si) >= 2 * gbltarget ctx si then
+        drain ctx ~si)
+
+let put_partial (ctx : Ctx.t) ~si ~head ~count =
+  let ly = ctx.Ctx.layout in
+  let st = Kstats.size ctx.Ctx.stats si in
+  if head <> 0 then
+    Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->
+        st.Kstats.gbl_puts <- st.Kstats.gbl_puts + 1;
+        let bcnt = Machine.read (f_bucket_cnt ly ~si) in
+        Freelist.iter_chain head (fun blk ~next:_ ->
+            Freelist.push ~head:(f_bucket ly ~si) blk);
+        Machine.write (f_bucket_cnt ly ~si) (bcnt + count);
+        (* Regroup full lists out of the bucket. *)
+        let tgt = target ctx si in
+        let rec regroup () =
+          if Machine.read (f_bucket_cnt ly ~si) >= tgt then begin
+            let h, got = take_from_bucket ctx ~si ~n:tgt in
+            push_list ctx ~si h ~count:got;
+            regroup ()
+          end
+        in
+        regroup ();
+        if Machine.read (f_nlists ly ~si) >= 2 * gbltarget ctx si then
+          drain ctx ~si)
+
+let drain_all (ctx : Ctx.t) ~si =
+  Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->
+      let rec lists () =
+        let head, count = pop_list ctx ~si in
+        if head <> 0 then begin
+          Pagepool.put_blocks ctx ~si ~head ~count;
+          lists ()
+        end
+      in
+      lists ();
+      let tgt = target ctx si in
+      let rec bucket () =
+        let head, count = take_from_bucket ctx ~si ~n:tgt in
+        if head <> 0 then begin
+          Pagepool.put_blocks ctx ~si ~head ~count;
+          bucket ()
+        end
+      in
+      bucket ())
+
+(* --- host-side oracles --- *)
+
+let nlists_oracle (ctx : Ctx.t) ~si =
+  Memory.get (Ctx.memory ctx) (f_nlists ctx.Ctx.layout ~si)
+
+let bucket_count_oracle (ctx : Ctx.t) ~si =
+  Memory.get (Ctx.memory ctx) (f_bucket_cnt ctx.Ctx.layout ~si)
+
+let total_blocks_oracle (ctx : Ctx.t) ~si =
+  let mem = Ctx.memory ctx in
+  let ly = ctx.Ctx.layout in
+  let rec lists head acc =
+    if head = 0 then acc
+    else
+      lists
+        (Memory.get mem (head + Freelist.next_list))
+        (acc + Memory.get mem (head + Freelist.count))
+  in
+  lists (Memory.get mem (f_head ly ~si)) 0
+  + bucket_count_oracle ctx ~si

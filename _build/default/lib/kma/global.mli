@@ -1,0 +1,49 @@
+(** Global layer (layer 2).
+
+    One instance per size class, protected by a per-size spinlock.  Its
+    only purpose is to let blocks allocated on one CPU and freed on
+    another flow back cheaply, without the coalescing layer's overhead.
+
+    Free blocks are kept as a list of *target-sized lists* ([gblfree]):
+    moving a whole per-CPU cache half costs O(1) linked-list operations.
+    Odd-sized returns (low-memory operation, explicit per-CPU cache
+    drains) go onto the *bucket list*, which regroups blocks into
+    target-sized lists.
+
+    [gbltarget] is interpreted in units of lists: the layer holds at most
+    [2 * gbltarget] lists, drains [gbltarget] lists to the
+    coalesce-to-page layer when it fills, and refills by up to
+    [gbltarget] lists when it empties.  Consecutive coalesce-layer
+    interactions are therefore at least [gbltarget] list operations
+    apart, giving the paper's 1/gbltarget worst-case miss rate (6.7% for
+    gbltarget = 15). *)
+
+val boot_init : Ctx.t -> unit
+
+val get_list : Ctx.t -> si:int -> int * int
+(** [get_list ctx ~si] hands out one block list (head, count), refilling
+    from the coalesce-to-page layer when empty.  Returns [(0, 0)] when
+    memory is exhausted.  Count is normally [target] but may be short
+    when memory runs low (the last blocks are still handed out: any CPU
+    can allocate the last buffer). *)
+
+val put_list : Ctx.t -> si:int -> head:int -> count:int -> unit
+(** [put_list ctx ~si ~head ~count] accepts a full target-sized list
+    from a per-CPU cache flush, draining to the coalesce-to-page layer
+    on overflow. *)
+
+val put_partial : Ctx.t -> si:int -> head:int -> count:int -> unit
+(** [put_partial ctx ~si ~head ~count] accepts an odd-sized chain onto
+    the bucket list and regroups full lists out of it. *)
+
+val drain_all : Ctx.t -> si:int -> unit
+(** [drain_all ctx ~si] pushes everything the global layer holds down to
+    the coalesce-to-page layer (administrative shakeout; see
+    [Kmem.reap_global]). *)
+
+(** {1 Host-side oracles} *)
+
+val nlists_oracle : Ctx.t -> si:int -> int
+val bucket_count_oracle : Ctx.t -> si:int -> int
+val total_blocks_oracle : Ctx.t -> si:int -> int
+(** Blocks held by the global layer (lists plus bucket). *)

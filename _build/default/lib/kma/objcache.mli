@@ -1,0 +1,58 @@
+(** Constructed-object caches over [kmem_alloc] — the paper's
+    special-purpose-allocator story taken one step further.
+
+    The paper notes that ad-hoc allocators remain useful "when the
+    structures being allocated are subject to some complex but reusable
+    initialization", and that such allocators should reuse the
+    general-purpose allocator's code.  An object cache does exactly
+    that: objects are obtained from {!Kmem} (through a pre-resolved
+    {!Cookie}) and constructed once; on release they return to a small
+    per-CPU cache of {e still-constructed} objects, so the constructor
+    runs only when the cache is cold.  Overflow destructs and returns
+    memory to [kmem], keeping the system's coalescing guarantees.
+    (This is the design later popularised as the slab allocator's
+    object cache, which cites this paper's per-CPU caching.)
+
+    The per-CPU cache lives in simulated memory, allocated from [kmem]
+    itself; constructors and destructors are simulated code (their
+    writes are charged). *)
+
+type t
+
+val create :
+  Kmem.t ->
+  bytes:int ->
+  ctor:(int -> unit) ->
+  ?dtor:(int -> unit) ->
+  ?target:int ->
+  unit ->
+  t option
+(** [create kmem ~bytes ~ctor ()] builds an object cache (simulated;
+    allocates its control block from [kmem]).  [ctor addr] must leave
+    the object at [addr] fully constructed; [dtor] (default none) runs
+    before memory goes back to [kmem].  [target] (default 8) bounds
+    each per-CPU cache.  [None] if memory is exhausted.
+
+    @raise Invalid_argument if [bytes] exceeds the largest size class
+    or [target < 1]. *)
+
+val alloc : t -> int
+(** [alloc t] returns a constructed object: from the current CPU's
+    cache without running the constructor, or freshly from [kmem] plus
+    one [ctor] call.  0 on memory exhaustion. *)
+
+val release : t -> int -> unit
+(** [release t addr] returns an object.  The caller must have restored
+    the constructed invariants ([ctor]'s contract); the object is NOT
+    re-constructed on reuse.  Overflow runs [dtor] and frees to
+    [kmem]. *)
+
+val destroy : t -> unit
+(** [destroy t] destructs and frees every cached object and the control
+    block (simulated; run once, on one CPU, with no objects live). *)
+
+(** {1 Host-side statistics} *)
+
+val ctor_calls : t -> int
+val reuses : t -> int
+(** Allocations served without running the constructor. *)

@@ -1,0 +1,1 @@
+lib/pool/depot.ml: List Mutex

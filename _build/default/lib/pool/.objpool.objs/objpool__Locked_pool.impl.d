@@ -1,0 +1,1 @@
+lib/pool/locked_pool.ml: Mutex Pstats

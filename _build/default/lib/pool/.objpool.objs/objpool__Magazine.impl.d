@@ -1,0 +1,1 @@
+lib/pool/magazine.ml: List

@@ -1,0 +1,1 @@
+lib/pool/pool.ml: Depot Domain Magazine Pstats

@@ -1,0 +1,1 @@
+lib/pool/pool.mli: Pstats

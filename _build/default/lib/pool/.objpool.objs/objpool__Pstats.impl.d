@@ -1,0 +1,1 @@
+lib/pool/pstats.ml: Atomic Float

@@ -1,0 +1,34 @@
+(** The global layer for OCaml domains: a mutex-protected stock of
+    full target-sized batches, exchanged whole with per-domain
+    magazines — one lock round-trip moves [target] objects.
+
+    When the depot overflows its bound, the excess batch is simply
+    dropped: under a garbage collector the "coalescing layers" are the
+    GC itself, which is the per-design substitution documented in
+    DESIGN.md. *)
+
+type 'a t
+
+val create : target:int -> max_batches:int -> 'a t
+(** [target] is the batch size magazines exchange; odd-sized returns
+    are regrouped into [target]-sized batches.
+    @raise Invalid_argument if [target < 1] or [max_batches < 0]. *)
+
+val get : 'a t -> 'a list option
+(** [get t] takes one batch (at most [target] items), or [None] when
+    empty. *)
+
+val put : 'a t -> 'a list -> [ `Kept | `Dropped ]
+(** [put t batch] stores a batch; [`Dropped] when the depot is full
+    (the batch is released to the GC). *)
+
+val put_partial : 'a t -> 'a list -> unit
+(** [put_partial t items] accepts an odd-sized return (magazine drain at
+    domain exit), regrouping into batches internally; overflow beyond
+    the bound is dropped. *)
+
+val batches : 'a t -> int
+(** Current stock (for monitoring; momentarily stale by nature). *)
+
+val drain : 'a t -> 'a list
+(** [drain t] empties the depot (tests, shutdown). *)

@@ -1,0 +1,46 @@
+type 'a t = {
+  ctor : unit -> 'a;
+  reset : ('a -> unit) option;
+  mutex : Mutex.t;
+  mutable free : 'a list;
+  stats : Pstats.t;
+}
+
+let create ~ctor ?reset () =
+  { ctor; reset; mutex = Mutex.create (); free = []; stats = Pstats.create () }
+
+let alloc t =
+  Pstats.incr_alloc t.stats;
+  Mutex.lock t.mutex;
+  let x =
+    match t.free with
+    | x :: rest ->
+        t.free <- rest;
+        Some x
+    | [] -> None
+  in
+  Mutex.unlock t.mutex;
+  match x with
+  | Some x -> x
+  | None ->
+      Pstats.incr_create t.stats;
+      t.ctor ()
+
+let release t x =
+  Pstats.incr_free t.stats;
+  (match t.reset with Some f -> f x | None -> ());
+  Mutex.lock t.mutex;
+  t.free <- x :: t.free;
+  Mutex.unlock t.mutex
+
+let with_obj t f =
+  let x = alloc t in
+  match f x with
+  | v ->
+      release t x;
+      v
+  | exception e ->
+      release t x;
+      raise e
+
+let stats t = t.stats

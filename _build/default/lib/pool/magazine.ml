@@ -1,0 +1,72 @@
+type 'a t = {
+  tgt : int;
+  mutable main : 'a list;
+  mutable main_n : int;
+  mutable aux : 'a list;
+  mutable aux_n : int;
+}
+
+let create ~target =
+  if target < 1 then invalid_arg "Pool.Magazine.create: target < 1";
+  { tgt = target; main = []; main_n = 0; aux = []; aux_n = 0 }
+
+let target t = t.tgt
+let size t = t.main_n + t.aux_n
+
+let get t =
+  match t.main with
+  | x :: rest ->
+      t.main <- rest;
+      t.main_n <- t.main_n - 1;
+      Some x
+  | [] ->
+      if t.aux_n = 0 then None
+      else begin
+        (* Slide aux into main: O(1), lists move whole. *)
+        t.main <- t.aux;
+        t.main_n <- t.aux_n;
+        t.aux <- [];
+        t.aux_n <- 0;
+        match t.main with
+        | x :: rest ->
+            t.main <- rest;
+            t.main_n <- t.main_n - 1;
+            Some x
+        | [] -> None
+      end
+
+let put t x =
+  if t.main_n < t.tgt then begin
+    t.main <- x :: t.main;
+    t.main_n <- t.main_n + 1;
+    `Ok
+  end
+  else begin
+    let flushed = if t.aux_n > 0 then `Flush t.aux else `Ok in
+    t.aux <- t.main;
+    t.aux_n <- t.main_n;
+    t.main <- [ x ];
+    t.main_n <- 1;
+    flushed
+  end
+
+let install t batch =
+  if t.main_n <> 0 then invalid_arg "Pool.Magazine.install: main not empty";
+  let n = List.length batch in
+  if n > t.tgt then invalid_arg "Pool.Magazine.install: batch too long";
+  t.main <- batch;
+  t.main_n <- n
+
+let drain t =
+  let all = t.main @ t.aux in
+  t.main <- [];
+  t.main_n <- 0;
+  t.aux <- [];
+  t.aux_n <- 0;
+  all
+
+let check t =
+  t.main_n = List.length t.main
+  && t.aux_n = List.length t.aux
+  && t.main_n <= t.tgt
+  && (t.aux_n = 0 || t.aux_n = t.tgt)

@@ -1,0 +1,41 @@
+(** The split freelist of the paper's per-CPU caching layer, as a plain
+    data structure over OCaml values: a [main] stack served first and an
+    [aux] stack holding one full target-sized batch in reserve.
+
+    Invariants (maintained by {!Pool}, checkable with {!check}):
+    - [length main <= target] and [length aux] is [0] or [target];
+    - a put onto a full [main] requires the caller to first hand off
+      [aux] (if full) and slide [main] into [aux];
+    - total occupancy never exceeds [2 * target].
+
+    Not thread-safe: one magazine belongs to one domain. *)
+
+type 'a t
+
+val create : target:int -> 'a t
+(** @raise Invalid_argument if [target < 1]. *)
+
+val target : 'a t -> int
+val size : 'a t -> int
+
+val get : 'a t -> 'a option
+(** [get t] pops from [main], sliding [aux] into [main] first if [main]
+    is empty.  [None] when the magazine is empty. *)
+
+val put : 'a t -> 'a -> [ `Ok | `Flush of 'a list ]
+(** [put t x] pushes onto [main].  When [main] is full it slides [main]
+    into [aux] and starts a fresh [main] with [x]; if [aux] was already
+    full, its batch is returned as [`Flush batch] (exactly [target]
+    elements) for the caller to hand to the depot. *)
+
+val install : 'a t -> 'a list -> unit
+(** [install t batch] loads a depot batch (at most [target] elements)
+    into an empty [main].
+    @raise Invalid_argument if [main] is non-empty or the batch is too
+    long. *)
+
+val drain : 'a t -> 'a list
+(** [drain t] empties the magazine, returning everything it held. *)
+
+val check : 'a t -> bool
+(** Invariant oracle for tests. *)

@@ -1,0 +1,75 @@
+type 'a t = {
+  ctor : unit -> 'a;
+  reset : ('a -> unit) option;
+  tgt : int;
+  depot : 'a Depot.t;
+  stats : Pstats.t;
+  key : 'a Magazine.t Domain.DLS.key;
+}
+
+let create ~ctor ?reset ?(target = 16) ?(depot_batches = 32) () =
+  if target < 1 then invalid_arg "Pool.create: target < 1";
+  {
+    ctor;
+    reset;
+    tgt = target;
+    depot = Depot.create ~target ~max_batches:depot_batches;
+    stats = Pstats.create ();
+    key = Domain.DLS.new_key (fun () -> Magazine.create ~target);
+  }
+
+let magazine t = Domain.DLS.get t.key
+
+let alloc t =
+  Pstats.incr_alloc t.stats;
+  let mag = magazine t in
+  match Magazine.get mag with
+  | Some x -> x
+  | None -> (
+      Pstats.incr_depot_get t.stats;
+      match Depot.get t.depot with
+      | Some batch -> (
+          Magazine.install mag batch;
+          match Magazine.get mag with
+          | Some x -> x
+          | None ->
+              (* Depot batches are never empty, but fall back safely. *)
+              Pstats.incr_create t.stats;
+              t.ctor ())
+      | None ->
+          Pstats.incr_create t.stats;
+          t.ctor ())
+
+let release t x =
+  Pstats.incr_free t.stats;
+  (match t.reset with Some f -> f x | None -> ());
+  let mag = magazine t in
+  match Magazine.put mag x with
+  | `Ok -> ()
+  | `Flush batch -> (
+      Pstats.incr_depot_put t.stats;
+      match Depot.put t.depot batch with
+      | `Kept -> ()
+      | `Dropped -> Pstats.incr_drop t.stats)
+
+let with_obj t f =
+  let x = alloc t in
+  match f x with
+  | v ->
+      release t x;
+      v
+  | exception e ->
+      release t x;
+      raise e
+
+let flush_local t =
+  let mag = magazine t in
+  match Magazine.drain mag with
+  | [] -> ()
+  | items ->
+      Pstats.incr_depot_put t.stats;
+      Depot.put_partial t.depot items
+
+let stats t = t.stats
+let target t = t.tgt
+let depot_batches t = Depot.batches t.depot

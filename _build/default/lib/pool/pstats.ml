@@ -1,0 +1,37 @@
+type t = {
+  allocs : int Atomic.t;
+  frees : int Atomic.t;
+  creates : int Atomic.t;
+  depot_gets : int Atomic.t;
+  depot_puts : int Atomic.t;
+  drops : int Atomic.t;
+}
+
+let create () =
+  {
+    allocs = Atomic.make 0;
+    frees = Atomic.make 0;
+    creates = Atomic.make 0;
+    depot_gets = Atomic.make 0;
+    depot_puts = Atomic.make 0;
+    drops = Atomic.make 0;
+  }
+
+let incr_alloc t = Atomic.incr t.allocs
+let incr_free t = Atomic.incr t.frees
+let incr_create t = Atomic.incr t.creates
+let incr_depot_get t = Atomic.incr t.depot_gets
+let incr_depot_put t = Atomic.incr t.depot_puts
+let incr_drop t = Atomic.incr t.drops
+
+let allocs t = Atomic.get t.allocs
+let frees t = Atomic.get t.frees
+let creates t = Atomic.get t.creates
+let depot_gets t = Atomic.get t.depot_gets
+let depot_puts t = Atomic.get t.depot_puts
+let drops t = Atomic.get t.drops
+
+let magazine_hit_rate t =
+  let a = allocs t in
+  if a = 0 then Float.nan
+  else 1. -. (float_of_int (depot_gets t) /. float_of_int a)

@@ -1,0 +1,25 @@
+(** Atomic counters for the native pool (safe to read from any
+    domain; individually consistent, not mutually). *)
+
+type t
+
+val create : unit -> t
+val incr_alloc : t -> unit
+val incr_free : t -> unit
+val incr_create : t -> unit
+val incr_depot_get : t -> unit
+val incr_depot_put : t -> unit
+val incr_drop : t -> unit
+
+val allocs : t -> int
+val frees : t -> int
+val creates : t -> int
+(** Constructor calls: allocations no layer could satisfy. *)
+
+val depot_gets : t -> int
+val depot_puts : t -> int
+val drops : t -> int
+(** Batches released to the GC on depot overflow. *)
+
+val magazine_hit_rate : t -> float
+(** Fraction of allocations served without touching the depot. *)

@@ -1,0 +1,272 @@
+type kind = Load | Store | Rmw
+
+type stats = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable rmws : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable c2c : int;
+  mutable upgrades : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+  mutable stall_cycles : int;
+}
+
+type entry = { mutable sharers : int; mutable dirty : int }
+(* [sharers] is a bitmask of CPUs holding the line; [dirty] is the CPU
+   holding it modified, or -1.  Invariant: dirty >= 0 implies sharers =
+   just that CPU's bit. *)
+
+type percpu = {
+  st : stats;
+  fifo : int Queue.t; (* line indices in insertion order; may contain
+                         lines since stolen by another CPU (skipped
+                         lazily at eviction time) *)
+  mutable nresident : int;
+}
+
+type t = {
+  cfg : Config.t;
+  line_shift : int;
+  uncached_base : int; (* addresses at or above this bypass the cache *)
+  lines : (int, entry) Hashtbl.t;
+  cpus : percpu array;
+  mutable trace :
+    (cpu:int -> addr:Memory.addr -> kind -> cost:int -> unit) option;
+}
+
+let fresh_stats () =
+  {
+    loads = 0;
+    stores = 0;
+    rmws = 0;
+    hits = 0;
+    misses = 0;
+    c2c = 0;
+    upgrades = 0;
+    invalidations = 0;
+    evictions = 0;
+    stall_cycles = 0;
+  }
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    line_shift = log2 cfg.line_words;
+    uncached_base = cfg.memory_words - cfg.uncached_words;
+    lines = Hashtbl.create 4096;
+    cpus =
+      Array.init cfg.ncpus (fun _ ->
+          { st = fresh_stats (); fifo = Queue.create (); nresident = 0 });
+    trace = None;
+  }
+
+let bit cpu = 1 lsl cpu
+let popcount n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n land (n - 1)) in
+  go 0 n
+
+(* Drop [cpu]'s copy of [line]; removes the entry entirely when the last
+   copy disappears so the table stays proportional to resident lines. *)
+let drop_copy t line entry cpu =
+  entry.sharers <- entry.sharers land lnot (bit cpu);
+  if entry.dirty = cpu then entry.dirty <- -1;
+  t.cpus.(cpu).nresident <- t.cpus.(cpu).nresident - 1;
+  if entry.sharers = 0 then Hashtbl.remove t.lines line
+
+(* Make room in [cpu]'s cache if bounded and full, FIFO order. *)
+let rec evict_if_full t cpu =
+  let pc = t.cpus.(cpu) in
+  if t.cfg.cache_lines > 0 && pc.nresident >= t.cfg.cache_lines then begin
+    match Queue.take_opt pc.fifo with
+    | None ->
+        (* Resident count says full but the FIFO is empty: impossible by
+           construction, but recover rather than loop forever. *)
+        pc.nresident <- 0
+    | Some line -> (
+        match Hashtbl.find_opt t.lines line with
+        | Some entry when entry.sharers land bit cpu <> 0 ->
+            drop_copy t line entry cpu;
+            pc.st.evictions <- pc.st.evictions + 1
+        | Some _ | None ->
+            (* Stale FIFO entry: the line was stolen by another CPU's
+               write.  Skip it and keep looking. *)
+            evict_if_full t cpu)
+  end
+
+let insert_copy t line entry cpu =
+  if entry.sharers land bit cpu = 0 then begin
+    evict_if_full t cpu;
+    entry.sharers <- entry.sharers lor bit cpu;
+    let pc = t.cpus.(cpu) in
+    pc.nresident <- pc.nresident + 1;
+    Queue.add line pc.fifo
+  end
+
+let find_or_add t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some e -> e
+  | None ->
+      let e = { sharers = 0; dirty = -1 } in
+      Hashtbl.add t.lines line e;
+      e
+
+(* Invalidate every copy other than [cpu]'s; returns how many were
+   invalidated. *)
+let invalidate_others t entry cpu =
+  let others = entry.sharers land lnot (bit cpu) in
+  if others = 0 then 0
+  else begin
+    let n = popcount others in
+    for c = 0 to t.cfg.ncpus - 1 do
+      if others land bit c <> 0 then begin
+        entry.sharers <- entry.sharers land lnot (bit c);
+        t.cpus.(c).nresident <- t.cpus.(c).nresident - 1
+      end
+    done;
+    if entry.dirty >= 0 && entry.dirty <> cpu then entry.dirty <- -1;
+    n
+  end
+
+let access t ~cpu a kind =
+  let cfg = t.cfg in
+  let line = a lsr t.line_shift in
+  let pc = t.cpus.(cpu) in
+  let st = pc.st in
+  (match kind with
+  | Load -> st.loads <- st.loads + 1
+  | Store -> st.stores <- st.stores + 1
+  | Rmw -> st.rmws <- st.rmws + 1);
+  if a >= t.uncached_base then begin
+    (* Uncacheable device-register space: every access goes to the bus. *)
+    let cost = cfg.uncached_cost in
+    st.misses <- st.misses + 1;
+    st.stall_cycles <- st.stall_cycles + cost;
+    (match t.trace with
+    | Some f -> f ~cpu ~addr:a kind ~cost
+    | None -> ());
+    cost
+  end
+  else begin
+  let entry = find_or_add t line in
+  let mine = entry.sharers land bit cpu <> 0 in
+  let dirty_elsewhere = entry.dirty >= 0 && entry.dirty <> cpu in
+  let cost =
+    match kind with
+    | Load ->
+        if mine then begin
+          st.hits <- st.hits + 1;
+          0
+        end
+        else if dirty_elsewhere then begin
+          (* Cache-to-cache transfer: the owner writes back and both end
+             up with shared copies. *)
+          st.c2c <- st.c2c + 1;
+          entry.dirty <- -1;
+          insert_copy t line entry cpu;
+          cfg.c2c_cost
+        end
+        else begin
+          st.misses <- st.misses + 1;
+          insert_copy t line entry cpu;
+          cfg.miss_cost
+        end
+    | Store | Rmw ->
+        if mine && entry.sharers = bit cpu then begin
+          (* Exclusive or already modified: silent upgrade. *)
+          st.hits <- st.hits + 1;
+          entry.dirty <- cpu;
+          0
+        end
+        else begin
+          let fetch_cost =
+            if mine then begin
+              (* Shared here and elsewhere: invalidation round only. *)
+              st.upgrades <- st.upgrades + 1;
+              cfg.upgrade_cost
+            end
+            else if dirty_elsewhere then begin
+              st.c2c <- st.c2c + 1;
+              cfg.c2c_cost
+            end
+            else begin
+              st.misses <- st.misses + 1;
+              if entry.sharers <> 0 then cfg.upgrade_cost + cfg.miss_cost
+              else cfg.miss_cost
+            end
+          in
+          st.invalidations <-
+            st.invalidations + invalidate_others t entry cpu;
+          insert_copy t line entry cpu;
+          entry.dirty <- cpu;
+          fetch_cost
+        end
+  in
+  st.stall_cycles <- st.stall_cycles + cost;
+  (match t.trace with
+  | Some f -> f ~cpu ~addr:a kind ~cost
+  | None -> ());
+  cost
+  end
+
+let stats t ~cpu = t.cpus.(cpu).st
+
+let total_stats t =
+  let acc = fresh_stats () in
+  Array.iter
+    (fun pc ->
+      let s = pc.st in
+      acc.loads <- acc.loads + s.loads;
+      acc.stores <- acc.stores + s.stores;
+      acc.rmws <- acc.rmws + s.rmws;
+      acc.hits <- acc.hits + s.hits;
+      acc.misses <- acc.misses + s.misses;
+      acc.c2c <- acc.c2c + s.c2c;
+      acc.upgrades <- acc.upgrades + s.upgrades;
+      acc.invalidations <- acc.invalidations + s.invalidations;
+      acc.evictions <- acc.evictions + s.evictions;
+      acc.stall_cycles <- acc.stall_cycles + s.stall_cycles)
+    t.cpus;
+  acc
+
+let reset_stats t =
+  Array.iter
+    (fun pc ->
+      let s = pc.st in
+      s.loads <- 0;
+      s.stores <- 0;
+      s.rmws <- 0;
+      s.hits <- 0;
+      s.misses <- 0;
+      s.c2c <- 0;
+      s.upgrades <- 0;
+      s.invalidations <- 0;
+      s.evictions <- 0;
+      s.stall_cycles <- 0)
+    t.cpus
+
+let set_trace t f = t.trace <- f
+
+let holders t a =
+  let line = a lsr t.line_shift in
+  match Hashtbl.find_opt t.lines line with
+  | None -> []
+  | Some e ->
+      let rec go c acc =
+        if c < 0 then acc
+        else go (c - 1) (if e.sharers land bit c <> 0 then c :: acc else acc)
+      in
+      go (t.cfg.ncpus - 1) []
+
+let dirty_owner t a =
+  let line = a lsr t.line_shift in
+  match Hashtbl.find_opt t.lines line with
+  | None -> None
+  | Some e -> if e.dirty >= 0 then Some e.dirty else None
+
+let resident t ~cpu = t.cpus.(cpu).nresident

@@ -1,0 +1,68 @@
+(** MESI-style cache-coherence cost model.
+
+    The model tracks, for every cache line, which CPUs hold a copy and
+    which CPU (if any) holds it modified.  Exclusive and Shared are
+    collapsed into one state with the Exclusive optimisation preserved: a
+    write to a line held by no other CPU is silent.  Each access returns
+    the stall cost in cycles beyond the base instruction cost:
+
+    - load hit, or store hit on an owned/exclusive line: 0;
+    - load miss serviced from memory: [miss_cost];
+    - load miss serviced from another CPU's modified line: [c2c_cost];
+    - store to a line shared with other CPUs: [upgrade_cost] (bus
+      invalidation round), plus [miss_cost] or [c2c_cost] if not resident;
+    - atomic read-modify-write: as a store, plus [rmw_cost].
+
+    When [cache_lines] is positive, each CPU's cache is bounded and lines
+    are evicted FIFO, so capacity misses occur; with [0] the caches are
+    unbounded and only coherence misses occur.  The model is fully
+    deterministic. *)
+
+type t
+
+type kind = Load | Store | Rmw
+
+type stats = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable rmws : int;
+  mutable hits : int;
+  mutable misses : int;  (** misses serviced from memory *)
+  mutable c2c : int;  (** misses serviced from another CPU's dirty line *)
+  mutable upgrades : int;  (** shared-to-exclusive invalidation rounds *)
+  mutable invalidations : int;  (** copies this CPU invalidated in others *)
+  mutable evictions : int;  (** capacity evictions *)
+  mutable stall_cycles : int;  (** total stall cycles charged *)
+}
+
+val create : Config.t -> t
+
+val access : t -> cpu:int -> Memory.addr -> kind -> int
+(** [access t ~cpu a kind] records an access by [cpu] to the line holding
+    word [a] and returns the stall cost in cycles (excluding the base
+    instruction cost and excluding [rmw_cost]; {!Machine} adds those). *)
+
+val stats : t -> cpu:int -> stats
+(** [stats t ~cpu] is the live statistics record for [cpu] (mutated by
+    subsequent accesses; copy it if you need a snapshot). *)
+
+val total_stats : t -> stats
+(** [total_stats t] sums the per-CPU statistics into a fresh record. *)
+
+val reset_stats : t -> unit
+
+val set_trace : t -> (cpu:int -> addr:Memory.addr -> kind -> cost:int -> unit) option -> unit
+(** [set_trace t f] installs (or clears) a per-access hook, used by the
+    analysis experiment to reconstruct the paper's logic-analyzer access
+    profiles. *)
+
+val holders : t -> Memory.addr -> int list
+(** [holders t a] is the sorted list of CPUs holding the line of [a]
+    (test oracle). *)
+
+val dirty_owner : t -> Memory.addr -> int option
+(** [dirty_owner t a] is the CPU holding the line of [a] modified, if
+    any (test oracle). *)
+
+val resident : t -> cpu:int -> int
+(** [resident t ~cpu] is the number of lines currently held by [cpu]. *)

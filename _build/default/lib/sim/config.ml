@@ -1,0 +1,98 @@
+type t = {
+  ncpus : int;
+  memory_words : int;
+  line_words : int;
+  cache_lines : int;
+  insn_cost : int;
+  miss_cost : int;
+  c2c_cost : int;
+  upgrade_cost : int;
+  rmw_cost : int;
+  irq_cost : int;
+  spin_cost : int;
+  uncached_words : int;
+  uncached_cost : int;
+  bus_model : bool;
+  bus_occupancy_div : int;
+  mhz : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate t =
+  let check cond msg = if not cond then invalid_arg ("Sim.Config: " ^ msg) in
+  check (t.ncpus >= 1 && t.ncpus <= 64) "ncpus must be in [1, 64]";
+  check (is_power_of_two t.line_words) "line_words must be a power of two";
+  check (t.memory_words > 0) "memory_words must be positive";
+  check
+    (t.memory_words mod t.line_words = 0)
+    "memory_words must be a multiple of line_words";
+  check (t.cache_lines >= 0) "cache_lines must be non-negative";
+  check (t.insn_cost >= 0) "insn_cost must be non-negative";
+  check (t.miss_cost >= 0) "miss_cost must be non-negative";
+  check (t.c2c_cost >= 0) "c2c_cost must be non-negative";
+  check (t.upgrade_cost >= 0) "upgrade_cost must be non-negative";
+  check (t.rmw_cost >= 0) "rmw_cost must be non-negative";
+  check (t.irq_cost >= 0) "irq_cost must be non-negative";
+  check (t.spin_cost >= 1) "spin_cost must be at least 1";
+  check
+    (t.uncached_words >= 0 && t.uncached_words < t.memory_words)
+    "uncached_words must fit below memory_words";
+  check (t.uncached_cost >= 0) "uncached_cost must be non-negative";
+  check (t.bus_occupancy_div >= 1) "bus_occupancy_div must be >= 1";
+  check (t.mhz >= 1) "mhz must be positive"
+
+let default =
+  {
+    ncpus = 4;
+    memory_words = 4 * 1024 * 1024;
+    line_words = 8;
+    cache_lines = 256;
+    insn_cost = 1;
+    miss_cost = 30;
+    c2c_cost = 50;
+    upgrade_cost = 20;
+    rmw_cost = 12;
+    irq_cost = 4;
+    spin_cost = 4;
+    uncached_words = 0;
+    uncached_cost = 40;
+    bus_model = true;
+    bus_occupancy_div = 4;
+    mhz = 50;
+  }
+
+let make ?(ncpus = default.ncpus) ?(memory_words = default.memory_words)
+    ?(line_words = default.line_words) ?(cache_lines = default.cache_lines)
+    ?(insn_cost = default.insn_cost) ?(miss_cost = default.miss_cost)
+    ?(c2c_cost = default.c2c_cost) ?(upgrade_cost = default.upgrade_cost)
+    ?(rmw_cost = default.rmw_cost) ?(irq_cost = default.irq_cost)
+    ?(spin_cost = default.spin_cost)
+    ?(uncached_words = default.uncached_words)
+    ?(uncached_cost = default.uncached_cost)
+    ?(bus_model = default.bus_model)
+    ?(bus_occupancy_div = default.bus_occupancy_div) ?(mhz = default.mhz) () =
+  let t =
+    {
+      ncpus;
+      memory_words;
+      line_words;
+      cache_lines;
+      insn_cost;
+      miss_cost;
+      c2c_cost;
+      upgrade_cost;
+      rmw_cost;
+      irq_cost;
+      spin_cost;
+      uncached_words;
+      uncached_cost;
+      bus_model;
+      bus_occupancy_div;
+      mhz;
+    }
+  in
+  validate t;
+  t
+
+let seconds_of_cycles t cycles = float_of_int cycles /. (float_of_int t.mhz *. 1e6)

@@ -1,0 +1,77 @@
+(** Cost model and machine parameters for the simulated shared-memory
+    multiprocessor.
+
+    All costs are in CPU cycles.  The defaults are loosely calibrated to a
+    50 MHz 80486-based Sequent Symmetry: a fast pipeline relative to its
+    bus, small per-CPU caches, and expensive atomic read-modify-write
+    operations.  Absolute values are not meant to match the paper's
+    microsecond numbers; they are chosen so that the *relative* behaviour
+    (coherence-miss domination, lock-contention collapse) is realistic. *)
+
+type t = {
+  ncpus : int;  (** number of simulated CPUs *)
+  memory_words : int;  (** size of simulated physical memory, in words *)
+  line_words : int;  (** cache-line size in words; must be a power of two *)
+  cache_lines : int;
+      (** per-CPU cache capacity in lines; [0] means unbounded *)
+  insn_cost : int;  (** base cost of any instruction *)
+  miss_cost : int;  (** extra cycles for a miss serviced from memory *)
+  c2c_cost : int;
+      (** extra cycles for a miss serviced from another CPU's dirty line *)
+  upgrade_cost : int;
+      (** extra cycles to upgrade a shared line to exclusive (bus
+          invalidation round) *)
+  rmw_cost : int;  (** extra pipeline-stall cycles for an atomic RMW *)
+  irq_cost : int;  (** cost of disabling or enabling interrupts *)
+  spin_cost : int;  (** cost of one spin-wait pause iteration *)
+  uncached_words : int;
+      (** size of the uncacheable region at the top of memory (device
+          registers); accesses there always pay [uncached_cost] *)
+  uncached_cost : int;  (** cycles per access to the uncacheable region *)
+  bus_model : bool;
+      (** model the shared system bus as a single queued resource: every
+          off-chip transfer (miss, cache-to-cache, upgrade, uncached
+          access) queues for the bus, so misses from many CPUs serialise
+          — the global saturation that caps lock-based allocators on
+          real shared-bus machines *)
+  bus_occupancy_div : int;
+      (** a transfer holds the bus for [stall / bus_occupancy_div]
+          cycles (min 1): a split-transaction bus is busy for the
+          request/arbitration phases, not the whole memory latency *)
+  mhz : int;  (** simulated clock rate, used to convert cycles to seconds *)
+}
+
+val default : t
+(** [default] is a 4-CPU machine with 4 MiW of memory, 8-word (32-byte)
+    cache lines and 256-line (8 KiB) caches. *)
+
+val make :
+  ?ncpus:int ->
+  ?memory_words:int ->
+  ?line_words:int ->
+  ?cache_lines:int ->
+  ?insn_cost:int ->
+  ?miss_cost:int ->
+  ?c2c_cost:int ->
+  ?upgrade_cost:int ->
+  ?rmw_cost:int ->
+  ?irq_cost:int ->
+  ?spin_cost:int ->
+  ?uncached_words:int ->
+  ?uncached_cost:int ->
+  ?bus_model:bool ->
+  ?bus_occupancy_div:int ->
+  ?mhz:int ->
+  unit ->
+  t
+(** [make ()] is [default] with the given fields overridden.
+
+    @raise Invalid_argument if a field is out of range (e.g. [ncpus < 1],
+    [line_words] not a power of two, or [memory_words] not line-aligned). *)
+
+val seconds_of_cycles : t -> int -> float
+(** [seconds_of_cycles t c] converts a cycle count to seconds at [t.mhz]. *)
+
+val validate : t -> unit
+(** [validate t] checks the invariants documented in {!make}.
+    @raise Invalid_argument on violation. *)

@@ -1,0 +1,239 @@
+exception Not_in_simulation
+exception Deadlock of string
+exception Watchdog of int
+
+type op =
+  | Read of Memory.addr
+  | Write of Memory.addr * int
+  | Cas of Memory.addr * int * int
+  | Faa of Memory.addr * int
+  | Swap of Memory.addr * int
+  | Work of int
+  | Spin
+  | Cpu_id
+  | Now
+  | Irq of bool
+
+type _ Effect.t += Op : op -> int Effect.t
+
+type step = Done | Next of op * (int, step) Effect.Deep.continuation
+
+type cpu = {
+  id : int;
+  mutable time : int;
+  mutable nretired : int;
+  mutable irq_off : bool;
+  mutable nspins : int;
+  mutable state : state;
+}
+
+and state =
+  | Idle
+  | Pending of op * (int, step) Effect.Deep.continuation
+
+type t = {
+  cfg : Config.t;
+  memory : Memory.t;
+  cache : Cache.t;
+  cpus : cpu array;
+  mutable bus_free : int;
+      (* Virtual instant the shared bus becomes free.  Off-chip
+         transfers queue behind it; because operations execute in
+         global time order, grants are naturally first-come
+         first-served. *)
+}
+
+let create (cfg : Config.t) =
+  Config.validate cfg;
+  {
+    cfg;
+    memory = Memory.create ~words:cfg.memory_words;
+    cache = Cache.create cfg;
+    cpus =
+      Array.init cfg.ncpus (fun id ->
+          {
+            id;
+            time = 0;
+            nretired = 0;
+            irq_off = false;
+            nspins = 0;
+            state = Idle;
+          });
+    bus_free = 0;
+  }
+
+let config t = t.cfg
+let memory t = t.memory
+let cache t = t.cache
+let cpu_time t ~cpu = t.cpus.(cpu).time
+let retired t ~cpu = t.cpus.(cpu).nretired
+
+let elapsed t =
+  Array.fold_left (fun acc c -> max acc c.time) 0 t.cpus
+
+let reset_clocks t =
+  t.bus_free <- 0;
+  Array.iter
+    (fun c ->
+      c.time <- 0;
+      c.nretired <- 0)
+    t.cpus
+
+let irq_disabled t ~cpu = t.cpus.(cpu).irq_off
+
+(* Typed operation fronts.  All operations funnel through a single
+   int-valued effect so the scheduler needs no existential plumbing. *)
+let perform_op o =
+  try Effect.perform (Op o)
+  with Effect.Unhandled _ -> raise Not_in_simulation
+let read a = perform_op (Read a)
+let write a v = ignore (perform_op (Write (a, v)))
+
+let cas a ~expected ~desired = perform_op (Cas (a, expected, desired)) = 1
+let fetch_add a n = perform_op (Faa (a, n))
+let swap a v = perform_op (Swap (a, v))
+let work n = if n > 0 then ignore (perform_op (Work n))
+let spin_pause () = ignore (perform_op Spin)
+let cpu_id () = perform_op Cpu_id
+let now () = perform_op Now
+let irq_disable () = ignore (perform_op (Irq true))
+let irq_enable () = ignore (perform_op (Irq false))
+
+(* Run a program until its first operation (or completion). *)
+let reify (f : unit -> unit) : step =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> Done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Op o ->
+              Some (fun (k : (a, step) continuation) -> Next (o, k))
+          | _ -> None);
+    }
+
+(* Execute [o] on behalf of [c] at its current virtual time.  Returns
+   (result, cost, insns). *)
+let exec t (c : cpu) (o : op) : int * int * int =
+  let cfg = t.cfg in
+  let mem_access a kind =
+    let stall = Cache.access t.cache ~cpu:c.id a kind in
+    let stall =
+      if stall > 0 && cfg.bus_model then begin
+        (* The transfer waits for the bus, then holds it for its
+           request/arbitration phases while the CPU stalls for the full
+           transfer latency. *)
+        let wait = max 0 (t.bus_free - c.time) in
+        let occupancy = max 1 (stall / cfg.bus_occupancy_div) in
+        t.bus_free <- c.time + wait + occupancy;
+        wait + stall
+      end
+      else stall
+    in
+    cfg.insn_cost + stall
+  in
+  match o with
+  | Read a -> (Memory.get t.memory a, mem_access a Cache.Load, 1)
+  | Write (a, v) ->
+      let cost = mem_access a Cache.Store in
+      Memory.set t.memory a v;
+      (0, cost, 1)
+  | Cas (a, expected, desired) ->
+      let cost = mem_access a Cache.Rmw + cfg.rmw_cost in
+      let cur = Memory.get t.memory a in
+      if cur = expected then begin
+        Memory.set t.memory a desired;
+        (1, cost, 1)
+      end
+      else (0, cost, 1)
+  | Faa (a, n) ->
+      let cost = mem_access a Cache.Rmw + cfg.rmw_cost in
+      let old = Memory.get t.memory a in
+      Memory.set t.memory a (old + n);
+      (old, cost, 1)
+  | Swap (a, v) ->
+      let cost = mem_access a Cache.Rmw + cfg.rmw_cost in
+      let old = Memory.get t.memory a in
+      Memory.set t.memory a v;
+      (old, cost, 1)
+  | Work n -> (0, n * cfg.insn_cost, n)
+  | Spin ->
+      (* Deterministic pseudo-random jitter.  Without it, a spinning CPU
+         can phase-lock with another CPU's periodic lock/unlock pattern
+         and lose the race forever — an artifact of the discrete-event
+         model that real bus arbitration and timing noise preclude. *)
+      c.nspins <- c.nspins + 1;
+      let mix = ((c.nspins * 2654435761) + (c.id * 40503)) land max_int in
+      let jitter = mix mod ((3 * cfg.spin_cost) + 1) in
+      (0, cfg.spin_cost + jitter, 1)
+  | Cpu_id -> (c.id, 0, 0)
+  | Now -> (c.time, 0, 0)
+  | Irq on ->
+      c.irq_off <- on;
+      (0, cfg.irq_cost, 1)
+
+let step t (c : cpu) =
+  match c.state with
+  | Idle -> ()
+  | Pending (o, k) ->
+      let result, cost, insns = exec t c o in
+      c.time <- c.time + cost;
+      c.nretired <- c.nretired + insns;
+      c.state <- Idle;
+      (match Effect.Deep.continue k result with
+      | Done -> ()
+      | Next (o', k') -> c.state <- Pending (o', k'))
+
+let run ?(max_cycles = 0) t progs =
+  let n = Array.length progs in
+  if n < 1 || n > t.cfg.ncpus then
+    invalid_arg
+      (Printf.sprintf "Sim.Machine.run: %d programs for %d CPUs" n
+         t.cfg.ncpus);
+  (* Launch every program up to its first operation.  The launch itself
+     consumes no virtual time. *)
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    let c = t.cpus.(i) in
+    match reify (fun () -> progs.(i) i) with
+    | Done -> ()
+    | Next (o, k) ->
+        c.state <- Pending (o, k);
+        incr live
+  done;
+  (* Discrete-event loop: always advance the pending CPU with the
+     smallest clock (ties by id, giving determinism). *)
+  let pick () =
+    let best = ref (-1) in
+    let best_time = ref max_int in
+    for i = 0 to n - 1 do
+      let c = t.cpus.(i) in
+      match c.state with
+      | Pending _ when c.time < !best_time ->
+          best := i;
+          best_time := c.time
+      | Pending _ | Idle -> ()
+    done;
+    !best
+  in
+  let rec loop () =
+    let i = pick () in
+    if i >= 0 then begin
+      let c = t.cpus.(i) in
+      if max_cycles > 0 && c.time > max_cycles then raise (Watchdog c.time);
+      let was_pending = match c.state with Pending _ -> true | Idle -> false in
+      step t c;
+      (match c.state with
+      | Idle when was_pending -> decr live
+      | Idle | Pending _ -> ());
+      loop ()
+    end
+    else if !live > 0 then
+      raise (Deadlock "unfinished CPUs but none runnable")
+  in
+  loop ()
+
+let run_symmetric ?max_cycles t ~ncpus f =
+  run ?max_cycles t (Array.init ncpus (fun _ -> f))

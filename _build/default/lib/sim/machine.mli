@@ -1,0 +1,121 @@
+(** The simulated shared-memory multiprocessor.
+
+    Each simulated CPU runs an ordinary OCaml function ("program") as an
+    effect-handler coroutine.  Every memory access the program makes
+    through this module's typed operations ({!read}, {!write}, {!cas},
+    ...) is an effect; the discrete-event scheduler executes pending
+    operations in virtual-time order (always the CPU with the smallest
+    local clock, ties broken by CPU id), charges cycle costs from the
+    {!Cache} model, and resumes the coroutine with the result.  The
+    resulting global memory order is a legal sequentially-consistent
+    interleaving, and runs are fully deterministic.
+
+    Code between two operations executes atomically at a single virtual
+    instant; all work a program does must therefore be accounted either
+    by its memory operations or by explicit {!work} charges.  Simulated
+    kernel code keeps its data structures in simulated memory so that its
+    cache behaviour is emergent.
+
+    Operations may only be performed from inside a program run by {!run};
+    calling them elsewhere raises [Not_in_simulation]. *)
+
+type t
+
+exception Not_in_simulation
+exception Deadlock of string
+
+exception Watchdog of int
+(** Raised by {!run} when a CPU's virtual clock passes the [max_cycles]
+    watchdog: the simulated kernel is spinning without global progress
+    (e.g. waiting on a signal nobody will send).  The payload is the
+    clock value at expiry. *)
+
+val create : Config.t -> t
+(** [create cfg] is a machine with zeroed memory and cold caches. *)
+
+val config : t -> Config.t
+val memory : t -> Memory.t
+(** [memory t] gives direct, uncharged access to the backing store.
+    Reserved for boot-time initialisation and test oracles. *)
+
+val cache : t -> Cache.t
+
+(** {1 Running programs} *)
+
+val run : ?max_cycles:int -> t -> (int -> unit) array -> unit
+(** [run t progs] runs [progs.(i)] on CPU [i] (each receives its CPU id)
+    until every program returns.  [Array.length progs] must be between 1
+    and [ncpus].  Virtual time continues from where the previous [run]
+    left off; caches stay warm between runs.  [max_cycles] (absolute
+    virtual time; 0 = no limit) arms a watchdog against livelocked
+    simulations.
+
+    @raise Invalid_argument on a bad program count.
+    @raise Watchdog when [max_cycles] is exceeded.
+    @raise Deadlock if every unfinished CPU is blocked (cannot currently
+    happen: spinlocks always make progress in virtual time). *)
+
+val run_symmetric : ?max_cycles:int -> t -> ncpus:int -> (int -> unit) -> unit
+(** [run_symmetric t ~ncpus f] runs [f] on CPUs [0 .. ncpus-1]. *)
+
+val elapsed : t -> int
+(** [elapsed t] is the largest per-CPU virtual clock, in cycles. *)
+
+val cpu_time : t -> cpu:int -> int
+(** [cpu_time t ~cpu] is CPU [cpu]'s virtual clock. *)
+
+val retired : t -> cpu:int -> int
+(** [retired t ~cpu] counts instructions retired by [cpu]: one per memory
+    or control operation, plus [n] per [work n]. *)
+
+val reset_clocks : t -> unit
+(** [reset_clocks t] zeroes all virtual clocks and retired-instruction
+    counters (caches and memory keep their contents). *)
+
+(** {1 Operations, usable only inside a running program} *)
+
+val read : Memory.addr -> int
+(** [read a] is a load. *)
+
+val write : Memory.addr -> int -> unit
+(** [write a v] is a store. *)
+
+val cas : Memory.addr -> expected:int -> desired:int -> bool
+(** [cas a ~expected ~desired] is an atomic compare-and-swap; true on
+    success.  Charged as an atomic RMW whether or not it succeeds. *)
+
+val fetch_add : Memory.addr -> int -> int
+(** [fetch_add a n] atomically adds [n] to word [a], returning the old
+    value. *)
+
+val swap : Memory.addr -> int -> int
+(** [swap a v] atomically exchanges word [a] with [v], returning the old
+    value. *)
+
+val work : int -> unit
+(** [work n] charges [n] cycles of pure compute (models straight-line
+    instructions that touch no shared memory). *)
+
+val spin_pause : unit -> unit
+(** [spin_pause ()] charges one spin-wait pause and yields the bus.  The
+    pause costs between [spin_cost] and [4 * spin_cost] cycles, varied
+    by a deterministic per-CPU hash: the jitter models real bus
+    arbitration and keeps spin loops from phase-locking against another
+    CPU's periodic critical section (a livelock artifact of purely
+    deterministic discrete-event timing). *)
+
+val cpu_id : unit -> int
+(** [cpu_id ()] is the current CPU's id (free of charge; models reading a
+    per-CPU register). *)
+
+val now : unit -> int
+(** [now ()] is the current CPU's virtual clock (free of charge; models a
+    cycle counter read). *)
+
+val irq_disable : unit -> unit
+(** [irq_disable ()] models disabling interrupts on the current CPU. *)
+
+val irq_enable : unit -> unit
+
+val irq_disabled : t -> cpu:int -> bool
+(** [irq_disabled t ~cpu] is a test oracle for the interrupt flag. *)

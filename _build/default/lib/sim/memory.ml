@@ -1,0 +1,32 @@
+type addr = int
+type t = { words : int array }
+
+let create ~words =
+  if words <= 0 then invalid_arg "Sim.Memory.create: words must be positive";
+  { words = Array.make words 0 }
+
+let size t = Array.length t.words
+
+let check t a who =
+  if a < 0 || a >= Array.length t.words then
+    invalid_arg
+      (Printf.sprintf "Sim.Memory.%s: address %d out of bounds [0, %d)" who a
+         (Array.length t.words))
+
+let get t a =
+  check t a "get";
+  Array.unsafe_get t.words a
+
+let set t a v =
+  check t a "set";
+  Array.unsafe_set t.words a v
+
+let fill t a ~len v =
+  check t a "fill";
+  check t (a + len - 1) "fill";
+  Array.fill t.words a len v
+
+let blit_to_host t a ~len =
+  check t a "blit_to_host";
+  check t (a + len - 1) "blit_to_host";
+  Array.sub t.words a len

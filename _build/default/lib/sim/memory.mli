@@ -1,0 +1,37 @@
+(** Word-addressed simulated physical memory.
+
+    A word models a 32-bit machine word; addresses are word indices.
+    Address [0] is reserved as the nil pointer: it is readable and
+    writable like any other word, but allocators treat it as NULL, so
+    nothing is ever placed there.
+
+    This module performs no cost accounting; it is the raw backing store.
+    Simulated CPUs must access memory through {!Machine} so that the cache
+    model can charge cycles.  Direct access from the host is reserved for
+    boot-time initialisation and for test oracles. *)
+
+type t
+
+type addr = int
+(** A word address in [0, size)]. *)
+
+val create : words:int -> t
+(** [create ~words] is a zero-filled memory of [words] words.
+    @raise Invalid_argument if [words <= 0]. *)
+
+val size : t -> int
+(** [size t] is the number of words in [t]. *)
+
+val get : t -> addr -> int
+(** [get t a] reads word [a].
+    @raise Invalid_argument if [a] is out of bounds. *)
+
+val set : t -> addr -> int -> unit
+(** [set t a v] writes [v] to word [a].
+    @raise Invalid_argument if [a] is out of bounds. *)
+
+val fill : t -> addr -> len:int -> int -> unit
+(** [fill t a ~len v] writes [v] to words [a .. a+len-1]. *)
+
+val blit_to_host : t -> addr -> len:int -> int array
+(** [blit_to_host t a ~len] copies a region out for inspection. *)

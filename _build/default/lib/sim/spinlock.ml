@@ -1,0 +1,47 @@
+type t = { a : Memory.addr }
+
+let locked_value = 1
+let unlocked_value = 0
+
+let init mem a =
+  Memory.set mem a unlocked_value;
+  { a }
+
+let addr t = t.a
+
+let try_acquire t =
+  Machine.cas t.a ~expected:unlocked_value ~desired:locked_value
+
+(* Test-and-set with jittered pauses.  A test-and-TEST-and-set spin
+   reads first and only then attempts the atomic, but in the simulation
+   the read-to-CAS latency is a whole coherence miss, so against a
+   holder that releases and re-acquires quickly the spinner's CAS would
+   always arrive late — a livelock the bus arbitration of real hardware
+   prevents.  The atomic itself samples the lock word at its issue
+   instant, so spinning directly on it (with {!Machine.spin_pause}'s
+   deterministic jitter de-phasing the loop) guarantees progress and
+   honestly charges the bus traffic that made these locks expensive. *)
+let acquire t =
+  let rec attempt () =
+    if not (try_acquire t) then begin
+      Machine.spin_pause ();
+      attempt ()
+    end
+  in
+  attempt ()
+
+let release t =
+  assert (Machine.read t.a = locked_value);
+  Machine.write t.a unlocked_value
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e
+
+let holder_oracle mem t = Memory.get mem t.a = locked_value

@@ -1,0 +1,40 @@
+(** Test-and-test-and-set spinlock over a word of simulated memory.
+
+    This is the synchronization primitive whose cost the paper's
+    allocator is designed to avoid: acquiring it performs an atomic
+    read-modify-write on a shared cache line, so under contention the
+    lock line ping-pongs between CPUs and acquisition cost grows with the
+    number of contenders.  All functions must run inside a simulated
+    program (see {!Machine}). *)
+
+type t
+
+val locked_value : int
+val unlocked_value : int
+
+val init : Memory.t -> Memory.addr -> t
+(** [init mem a] initialises the word at [a] to unlocked (boot-time,
+    uncharged) and returns the lock handle. *)
+
+val addr : t -> Memory.addr
+
+val acquire : t -> unit
+(** [acquire t] spins until the lock is taken: reads until the word looks
+    free, then attempts a compare-and-swap, backing off with
+    {!Machine.spin_pause} on failure. *)
+
+val release : t -> unit
+(** [release t] stores the unlocked value.  The caller must hold the
+    lock (checked by assertion). *)
+
+val try_acquire : t -> bool
+(** [try_acquire t] makes a single attempt. *)
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** [with_lock t f] runs [f ()] with the lock held, releasing on return.
+    [f] must not raise: simulated kernel code does not unwind across a
+    critical section (enforced by re-raising after release). *)
+
+val holder_oracle : Memory.t -> t -> bool
+(** [holder_oracle mem t] is true when the lock word reads locked
+    (host-side test oracle, uncharged). *)

@@ -1,0 +1,52 @@
+type t = {
+  total : int;
+  grant_cost : int;
+  reclaim_cost : int;
+  mutable ngranted : int;
+  mutable peak : int;
+  mutable grants : int;
+  mutable reclaims : int;
+}
+
+let create ~total_pages ~grant_cost ~reclaim_cost =
+  if total_pages <= 0 then invalid_arg "Sim.Vmsys.create: total_pages";
+  if grant_cost < 0 || reclaim_cost < 0 then
+    invalid_arg "Sim.Vmsys.create: negative cost";
+  {
+    total = total_pages;
+    grant_cost;
+    reclaim_cost;
+    ngranted = 0;
+    peak = 0;
+    grants = 0;
+    reclaims = 0;
+  }
+
+let grant t =
+  Machine.work t.grant_cost;
+  if t.ngranted >= t.total then false
+  else begin
+    t.ngranted <- t.ngranted + 1;
+    t.grants <- t.grants + 1;
+    if t.ngranted > t.peak then t.peak <- t.ngranted;
+    true
+  end
+
+let reclaim t =
+  Machine.work t.reclaim_cost;
+  if t.ngranted <= 0 then
+    invalid_arg "Sim.Vmsys.reclaim: more reclaims than grants";
+  t.ngranted <- t.ngranted - 1;
+  t.reclaims <- t.reclaims + 1
+
+let granted t = t.ngranted
+let available t = t.total - t.ngranted
+let total_pages t = t.total
+let peak_granted t = t.peak
+let grant_count t = t.grants
+let reclaim_count t = t.reclaims
+
+let reset_counters t =
+  t.grants <- 0;
+  t.reclaims <- 0;
+  t.peak <- t.ngranted

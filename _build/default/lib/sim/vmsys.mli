@@ -1,0 +1,36 @@
+(** Physical-memory accountant standing in for the DYNIX VM system.
+
+    The paper's coalesce-to-page layer returns a page's *physical* memory
+    to the VM system the moment every block in the page is free, while
+    retaining the virtual address range.  This module models the VM
+    system's side of that contract: a bounded pool of physical pages with
+    a cycle cost per grant and per reclaim.  The backing words live in
+    {!Memory} regardless (we do not really unmap), so only the accounting
+    and the cost are simulated — which is exactly what the benchmarks
+    observe.
+
+    Grant and reclaim must be called from inside a simulated program;
+    they charge {!Machine.work}.  The VM system serialises internally, so
+    callers need no extra locking (the simulated charge includes the VM
+    system's own synchronisation). *)
+
+type t
+
+val create : total_pages:int -> grant_cost:int -> reclaim_cost:int -> t
+(** @raise Invalid_argument if [total_pages <= 0] or a cost is
+    negative. *)
+
+val grant : t -> bool
+(** [grant t] asks for one physical page; false when none remain. *)
+
+val reclaim : t -> unit
+(** [reclaim t] returns one physical page.
+    @raise Invalid_argument if more pages are reclaimed than granted. *)
+
+val granted : t -> int
+val available : t -> int
+val total_pages : t -> int
+val peak_granted : t -> int
+val grant_count : t -> int
+val reclaim_count : t -> int
+val reset_counters : t -> unit

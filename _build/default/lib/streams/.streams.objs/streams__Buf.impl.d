@@ -1,0 +1,1 @@
+lib/streams/buf.ml: Baseline Kma Machine Msg Sim

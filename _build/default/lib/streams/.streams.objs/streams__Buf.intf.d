@@ -1,0 +1,1 @@
+lib/streams/buf.mli: Baseline

@@ -1,0 +1,1 @@
+lib/streams/msg.ml: Kma Sim

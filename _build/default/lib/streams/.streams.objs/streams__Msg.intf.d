@@ -1,0 +1,1 @@
+lib/streams/msg.mli: Sim

@@ -1,0 +1,1 @@
+lib/streams/squeue.ml: Baseline Buf Machine Msg Sim

@@ -1,0 +1,1 @@
+lib/streams/squeue.mli: Buf

@@ -1,0 +1,184 @@
+open Sim
+
+type t = { a : Baseline.Allocator.t }
+
+let create a = { a }
+let allocator t = t.a
+
+let bpw = Kma.Params.bytes_per_word
+
+let round_buf_bytes bytes = max 16 ((bytes + bpw - 1) / bpw * bpw)
+
+let alloc t ~bytes = t.a.Baseline.Allocator.alloc ~bytes
+let dealloc t ~addr ~bytes = t.a.Baseline.Allocator.free ~addr ~bytes
+
+let allocb t ~bytes =
+  let buf_bytes = round_buf_bytes bytes in
+  let mblk = alloc t ~bytes:Msg.mblk_bytes in
+  if mblk = 0 then 0
+  else begin
+    let dblk = alloc t ~bytes:Msg.dblk_bytes in
+    if dblk = 0 then begin
+      dealloc t ~addr:mblk ~bytes:Msg.mblk_bytes;
+      0
+    end
+    else begin
+      let buf = alloc t ~bytes:buf_bytes in
+      if buf = 0 then begin
+        dealloc t ~addr:dblk ~bytes:Msg.dblk_bytes;
+        dealloc t ~addr:mblk ~bytes:Msg.mblk_bytes;
+        0
+      end
+      else begin
+        Machine.write (mblk + Msg.b_next) 0;
+        Machine.write (mblk + Msg.b_prev) 0;
+        Machine.write (mblk + Msg.b_cont) 0;
+        Machine.write (mblk + Msg.b_rptr) buf;
+        Machine.write (mblk + Msg.b_wptr) buf;
+        Machine.write (mblk + Msg.b_datap) dblk;
+        Machine.write (dblk + Msg.db_base) buf;
+        Machine.write (dblk + Msg.db_lim) (buf + (buf_bytes / bpw));
+        Machine.write (dblk + Msg.db_ref) 1;
+        Machine.write (dblk + Msg.db_type) Msg.m_data;
+        mblk
+      end
+    end
+  end
+
+let freeb t mblk =
+  let dblk = Machine.read (mblk + Msg.b_datap) in
+  let refcnt = Machine.read (dblk + Msg.db_ref) in
+  if refcnt > 1 then Machine.write (dblk + Msg.db_ref) (refcnt - 1)
+  else begin
+    let base = Machine.read (dblk + Msg.db_base) in
+    let lim = Machine.read (dblk + Msg.db_lim) in
+    dealloc t ~addr:base ~bytes:((lim - base) * bpw);
+    dealloc t ~addr:dblk ~bytes:Msg.dblk_bytes
+  end;
+  dealloc t ~addr:mblk ~bytes:Msg.mblk_bytes
+
+let dupb t mblk =
+  let m2 = alloc t ~bytes:Msg.mblk_bytes in
+  if m2 = 0 then 0
+  else begin
+    let dblk = Machine.read (mblk + Msg.b_datap) in
+    Machine.write (m2 + Msg.b_next) 0;
+    Machine.write (m2 + Msg.b_prev) 0;
+    Machine.write (m2 + Msg.b_cont) 0;
+    Machine.write (m2 + Msg.b_rptr) (Machine.read (mblk + Msg.b_rptr));
+    Machine.write (m2 + Msg.b_wptr) (Machine.read (mblk + Msg.b_wptr));
+    Machine.write (m2 + Msg.b_datap) dblk;
+    Machine.write (dblk + Msg.db_ref) (Machine.read (dblk + Msg.db_ref) + 1);
+    m2
+  end
+
+let rec last_block mblk =
+  let cont = Machine.read (mblk + Msg.b_cont) in
+  if cont = 0 then mblk else last_block cont
+
+let linkb _t msg tail = Machine.write (last_block msg + Msg.b_cont) tail
+
+let unlinkb _t msg =
+  let cont = Machine.read (msg + Msg.b_cont) in
+  Machine.write (msg + Msg.b_cont) 0;
+  cont
+
+let rec freemsg t msg =
+  if msg <> 0 then begin
+    let cont = Machine.read (msg + Msg.b_cont) in
+    freeb t msg;
+    freemsg t cont
+  end
+
+let msgdsize _t msg =
+  let rec go mblk acc =
+    if mblk = 0 then acc
+    else
+      let dblk = Machine.read (mblk + Msg.b_datap) in
+      let acc =
+        if Machine.read (dblk + Msg.db_type) = Msg.m_data then
+          acc
+          + (Machine.read (mblk + Msg.b_wptr)
+             - Machine.read (mblk + Msg.b_rptr))
+            * bpw
+        else acc
+      in
+      go (Machine.read (mblk + Msg.b_cont)) acc
+  in
+  go msg 0
+
+(* Copy the readable words of [src]'s buffer into a fresh block. *)
+let copyb t src =
+  let rptr = Machine.read (src + Msg.b_rptr) in
+  let wptr = Machine.read (src + Msg.b_wptr) in
+  let dblk = Machine.read (src + Msg.b_datap) in
+  let base = Machine.read (dblk + Msg.db_base) in
+  let lim = Machine.read (dblk + Msg.db_lim) in
+  let dst = allocb t ~bytes:((lim - base) * bpw) in
+  if dst = 0 then 0
+  else begin
+    let dbuf = Machine.read (dst + Msg.b_rptr) in
+    for i = 0 to wptr - rptr - 1 do
+      Machine.write (dbuf + i) (Machine.read (rptr + i))
+    done;
+    Machine.write (dst + Msg.b_wptr) (dbuf + (wptr - rptr));
+    dst
+  end
+
+let copymsg t msg =
+  let rec go src =
+    if src = 0 then 0
+    else
+      let dst = copyb t src in
+      if dst = 0 then 0 (* caller releases what was built *)
+      else begin
+        let rest = go (Machine.read (src + Msg.b_cont)) in
+        if rest = 0 && Machine.read (src + Msg.b_cont) <> 0 then begin
+          freeb t dst;
+          0
+        end
+        else begin
+          Machine.write (dst + Msg.b_cont) rest;
+          dst
+        end
+      end
+  in
+  go msg
+
+let pullupmsg t msg =
+  let total = msgdsize t msg in
+  let dst = allocb t ~bytes:total in
+  if dst = 0 then 0
+  else begin
+    let dbuf = Machine.read (dst + Msg.b_rptr) in
+    let cursor = ref dbuf in
+    let rec copy mblk =
+      if mblk <> 0 then begin
+        let rptr = Machine.read (mblk + Msg.b_rptr) in
+        let wptr = Machine.read (mblk + Msg.b_wptr) in
+        for i = 0 to wptr - rptr - 1 do
+          Machine.write (!cursor + i) (Machine.read (rptr + i))
+        done;
+        cursor := !cursor + (wptr - rptr);
+        copy (Machine.read (mblk + Msg.b_cont))
+      end
+    in
+    copy msg;
+    Machine.write (dst + Msg.b_wptr) !cursor;
+    freemsg t msg;
+    dst
+  end
+
+let put_byte_word _t mblk v =
+  let wptr = Machine.read (mblk + Msg.b_wptr) in
+  let dblk = Machine.read (mblk + Msg.b_datap) in
+  assert (wptr < Machine.read (dblk + Msg.db_lim));
+  Machine.write wptr v;
+  Machine.write (mblk + Msg.b_wptr) (wptr + 1)
+
+let get_byte_word _t mblk =
+  let rptr = Machine.read (mblk + Msg.b_rptr) in
+  assert (rptr < Machine.read (mblk + Msg.b_wptr));
+  let v = Machine.read rptr in
+  Machine.write (mblk + Msg.b_rptr) (rptr + 1);
+  v

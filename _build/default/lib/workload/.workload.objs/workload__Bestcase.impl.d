@@ -1,0 +1,1 @@
+lib/workload/bestcase.ml: Array Baseline Rig Sim

@@ -1,0 +1,1 @@
+lib/workload/bestcase.mli: Baseline Sim

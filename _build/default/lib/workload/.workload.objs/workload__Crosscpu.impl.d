@@ -1,0 +1,1 @@
+lib/workload/crosscpu.ml: Baseline Machine Rig Sim

@@ -1,0 +1,1 @@
+lib/workload/crosscpu.mli: Baseline Sim

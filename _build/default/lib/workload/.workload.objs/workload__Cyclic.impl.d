@@ -1,0 +1,1 @@
+lib/workload/cyclic.ml: Baseline Kma List Option Prng Rig Sim

@@ -1,0 +1,1 @@
+lib/workload/cyclic.mli: Baseline Kma Sim

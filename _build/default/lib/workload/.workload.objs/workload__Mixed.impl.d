@@ -1,0 +1,1 @@
+lib/workload/mixed.ml: Array Baseline Prng Queue Rig Sim

@@ -1,0 +1,1 @@
+lib/workload/rig.ml: Baseline Sim

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Baseline Buffer Hashtbl List Printf Prng Sim String

@@ -1,0 +1,1 @@
+lib/workload/worstcase.ml: Array Baseline List Rig Sim

@@ -1,0 +1,1 @@
+lib/workload/worstcase.mli: Baseline Sim

@@ -1,0 +1,62 @@
+let loop_overhead = 20
+
+type result = {
+  ncpus : int;
+  pairs : int;
+  cycles : int;
+  pairs_per_sec : float;
+}
+
+let pair (a : Baseline.Allocator.t) ~bytes =
+  Sim.Machine.work loop_overhead;
+  let addr = a.Baseline.Allocator.alloc ~bytes in
+  assert (addr <> 0);
+  a.Baseline.Allocator.free ~addr ~bytes
+
+(* The paper's methodology: a system call loops until a user-specified
+   length of time has passed and reports how many pairs it completed.
+   Warm-up runs untimed, then each CPU works until its virtual clock
+   passes the deadline. *)
+let run_timed ~which ~ncpus ~duration_cycles ~bytes ?config () =
+  let m, a = Rig.fresh which ?config ~ncpus () in
+  Sim.Machine.run_symmetric m ~ncpus (fun _ ->
+      for _ = 1 to 50 do
+        pair a ~bytes
+      done);
+  Sim.Machine.reset_clocks m;
+  let counts = Array.make ncpus 0 in
+  Sim.Machine.run_symmetric m ~ncpus (fun cpu ->
+      while Sim.Machine.now () < duration_cycles do
+        pair a ~bytes;
+        counts.(cpu) <- counts.(cpu) + 1
+      done);
+  let cycles = Sim.Machine.elapsed m in
+  let pairs = Array.fold_left ( + ) 0 counts in
+  {
+    ncpus;
+    pairs;
+    cycles;
+    pairs_per_sec = Rig.pairs_per_sec (Sim.Machine.config m) ~pairs ~cycles;
+  }
+
+let run ~which ~ncpus ~iters ~bytes ?config () =
+  let m, a = Rig.fresh which ?config ~ncpus () in
+  let warmup = (iters / 10) + 1 in
+  Sim.Machine.run_symmetric m ~ncpus (fun _ ->
+      for _ = 1 to warmup do
+        pair a ~bytes
+      done);
+  Sim.Machine.reset_clocks m;
+  Sim.Machine.run_symmetric m ~ncpus (fun _ ->
+      for _ = 1 to iters do
+        pair a ~bytes
+      done);
+  let cycles = Sim.Machine.elapsed m in
+  let pairs = ncpus * iters in
+  {
+    ncpus;
+    pairs;
+    cycles;
+    pairs_per_sec =
+      Rig.pairs_per_sec (Sim.Machine.config m) ~pairs ~cycles;
+  }

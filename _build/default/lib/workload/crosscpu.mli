@@ -1,0 +1,26 @@
+(** Producer/consumer workload: one set of CPUs allocates blocks and
+    pushes them through a shared ring in simulated memory; the others
+    pop and free them.
+
+    This is the pattern the global layer exists for ("one CPU allocates
+    buffers of a given size, which are then passed to other CPUs that
+    free them") — freed buffers flow back to the allocating CPU through
+    the global layer without coalescing overhead. *)
+
+type result = {
+  ncpus : int;
+  transfers : int;  (** blocks produced, consumed and freed *)
+  cycles : int;
+  transfers_per_sec : float;
+}
+
+val run :
+  which:Baseline.Allocator.which ->
+  pairs:int ->
+  blocks_per_pair:int ->
+  ?bytes:int ->
+  ?config:Sim.Config.t ->
+  unit ->
+  result
+(** [run ~which ~pairs ~blocks_per_pair ()] uses [2 * pairs] CPUs: even
+    CPUs produce, odd CPUs consume via a per-pair ring. *)

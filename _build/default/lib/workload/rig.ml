@@ -1,0 +1,17 @@
+let paper_config ?(memory_words = 2 * 1024 * 1024) ~ncpus () =
+  Sim.Config.make ~ncpus ~memory_words ~cache_lines:256 ~uncached_words:512
+    ()
+
+let fresh which ?config ~ncpus () =
+  let cfg =
+    match config with
+    | Some c -> { c with Sim.Config.ncpus }
+    | None -> paper_config ~ncpus ()
+  in
+  Sim.Config.validate cfg;
+  let m = Sim.Machine.create cfg in
+  (m, Baseline.Allocator.create which m)
+
+let pairs_per_sec cfg ~pairs ~cycles =
+  if cycles = 0 then 0.
+  else float_of_int pairs /. Sim.Config.seconds_of_cycles cfg cycles

@@ -1,0 +1,19 @@
+(** Shared benchmark rig: the simulated-machine configuration standing
+    in for the paper's Symmetry 2000 (50 MHz 80486s, small per-CPU
+    caches, a slow shared bus, a patch of uncacheable register space),
+    and fresh machine/allocator pairs for experiments. *)
+
+val paper_config : ?memory_words:int -> ncpus:int -> unit -> Sim.Config.t
+(** 256-line (8 KiB) bounded caches, 512 uncacheable words at the top
+    of memory, default bus costs, 50 MHz. *)
+
+val fresh :
+  Baseline.Allocator.which ->
+  ?config:Sim.Config.t ->
+  ncpus:int ->
+  unit ->
+  Sim.Machine.t * Baseline.Allocator.t
+(** [fresh which ~ncpus ()] is a booted allocator on a new machine.  A
+    given [config] has its [ncpus] overridden. *)
+
+val pairs_per_sec : Sim.Config.t -> pairs:int -> cycles:int -> float

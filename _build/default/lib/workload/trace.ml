@@ -1,0 +1,154 @@
+type event = Alloc of { id : int; bytes : int } | Free of { id : int }
+type t = event list
+
+let default_mix =
+  [|
+    (30, 16); (25, 32); (15, 64); (10, 128); (8, 256); (6, 512); (4, 1024);
+    (1, 2048); (1, 4096);
+  |]
+
+let synthesize ?(seed = 13) ?(live_window = 64) ?(size_mix = default_mix)
+    ~ops () =
+  let rng = Prng.create ~seed in
+  let live = ref [] in
+  let nlive = ref 0 in
+  let next_id = ref 0 in
+  let events = ref [] in
+  for _ = 1 to ops do
+    if
+      !nlive >= live_window
+      || (!nlive > 0 && Prng.int rng ~bound:100 < 40)
+    then begin
+      (* Free a pseudo-random live id (not always the newest, so the
+         trace exercises out-of-order frees). *)
+      let n = Prng.int rng ~bound:!nlive in
+      let id = List.nth !live n in
+      live := List.filter (fun x -> x <> id) !live;
+      decr nlive;
+      events := Free { id } :: !events
+    end
+    else begin
+      let id = !next_id in
+      incr next_id;
+      let bytes = Prng.weighted rng size_mix in
+      live := id :: !live;
+      incr nlive;
+      events := Alloc { id; bytes } :: !events
+    end
+  done;
+  List.iter (fun id -> events := Free { id } :: !events) !live;
+  List.rev !events
+
+let validate t =
+  let live = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | [] ->
+        if Hashtbl.length live = 0 then Ok ()
+        else Error (Printf.sprintf "%d ids never freed" (Hashtbl.length live))
+    | Alloc { id; bytes } :: rest ->
+        if Hashtbl.mem seen id then
+          Error (Printf.sprintf "id %d allocated twice" id)
+        else if bytes <= 0 then Error (Printf.sprintf "id %d: bytes <= 0" id)
+        else begin
+          Hashtbl.add seen id ();
+          Hashtbl.add live id ();
+          go rest
+        end
+    | Free { id } :: rest ->
+        if not (Hashtbl.mem live id) then
+          Error (Printf.sprintf "id %d freed while not live" id)
+        else begin
+          Hashtbl.remove live id;
+          go rest
+        end
+  in
+  go t
+
+let to_string t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      match e with
+      | Alloc { id; bytes } -> Buffer.add_string b (Printf.sprintf "a %d %d\n" id bytes)
+      | Free { id } -> Buffer.add_string b (Printf.sprintf "f %d\n" id))
+    t;
+  Buffer.contents b
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc (n + 1) rest
+    | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ "a"; id; bytes ] -> (
+            match (int_of_string_opt id, int_of_string_opt bytes) with
+            | Some id, Some bytes -> go (Alloc { id; bytes } :: acc) (n + 1) rest
+            | _ -> Error (Printf.sprintf "line %d: bad alloc" n))
+        | [ "f"; id ] -> (
+            match int_of_string_opt id with
+            | Some id -> go (Free { id } :: acc) (n + 1) rest
+            | None -> Error (Printf.sprintf "line %d: bad free" n))
+        | _ -> Error (Printf.sprintf "line %d: unparseable %S" n line))
+  in
+  go [] 1 lines
+
+type result = { ops : int; failures : int; cycles : int }
+
+let replay t (a : Baseline.Allocator.t) =
+  let addr_of = Hashtbl.create 256 in
+  let bytes_of = Hashtbl.create 256 in
+  let failures = ref 0 in
+  let ops = ref 0 in
+  let t0 = Sim.Machine.now () in
+  List.iter
+    (fun e ->
+      incr ops;
+      match e with
+      | Alloc { id; bytes } ->
+          let addr = a.Baseline.Allocator.alloc ~bytes in
+          if addr = 0 then incr failures
+          else begin
+            Hashtbl.replace addr_of id addr;
+            Hashtbl.replace bytes_of id bytes
+          end
+      | Free { id } -> (
+          match Hashtbl.find_opt addr_of id with
+          | Some addr ->
+              a.Baseline.Allocator.free ~addr
+                ~bytes:(Hashtbl.find bytes_of id);
+              Hashtbl.remove addr_of id
+          | None -> () (* its allocation failed: skip *)))
+    t;
+  { ops = !ops; failures = !failures; cycles = Sim.Machine.now () - t0 }
+
+let record (a : Baseline.Allocator.t) f =
+  let events = ref [] in
+  let next_id = ref 0 in
+  let id_of = Hashtbl.create 256 in
+  let wrapped =
+    {
+      Baseline.Allocator.name = a.Baseline.Allocator.name ^ "+trace";
+      alloc =
+        (fun ~bytes ->
+          let addr = a.Baseline.Allocator.alloc ~bytes in
+          if addr <> 0 then begin
+            let id = !next_id in
+            incr next_id;
+            Hashtbl.replace id_of addr id;
+            events := Alloc { id; bytes } :: !events
+          end;
+          addr);
+      free =
+        (fun ~addr ~bytes ->
+          (match Hashtbl.find_opt id_of addr with
+          | Some id ->
+              Hashtbl.remove id_of addr;
+              events := Free { id } :: !events
+          | None -> ());
+          a.Baseline.Allocator.free ~addr ~bytes);
+    }
+  in
+  f wrapped;
+  List.rev !events

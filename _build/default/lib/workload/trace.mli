@@ -1,0 +1,51 @@
+(** Allocation traces: record, synthesise, serialise and replay
+    alloc/free event streams against any allocator.
+
+    The paper's evaluation ran live workloads; allocator research since
+    has standardised on traces so that one workload can be replayed
+    bit-for-bit against competing allocators.  A trace is a sequence of
+    events over abstract object ids; replay maps ids to whatever
+    addresses the allocator under test returns.
+
+    Traces serialise to a plain text format (one event per line,
+    [a <id> <bytes>] or [f <id>]) for storage and exchange. *)
+
+type event = Alloc of { id : int; bytes : int } | Free of { id : int }
+type t = event list
+
+val synthesize :
+  ?seed:int ->
+  ?live_window:int ->
+  ?size_mix:(int * int) array ->
+  ops:int ->
+  unit ->
+  t
+(** [synthesize ~ops ()] builds a well-formed trace: every [Free] names
+    a live id, and everything left live is freed at the end (so
+    replaying leaves the allocator empty).  [size_mix] weights request
+    sizes (defaults to the kernel-ish mix of {!Mixed}). *)
+
+val validate : t -> (unit, string) result
+(** [validate t] checks trace well-formedness: no double allocation of
+    an id, no free of a dead id, and every id freed by the end. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+type result = {
+  ops : int;
+  failures : int;  (** allocations the allocator could not satisfy *)
+  cycles : int;
+}
+
+val replay : t -> Baseline.Allocator.t -> result
+(** [replay t a] runs the trace on the current simulated CPU.  A failed
+    allocation counts in [failures] and its id stays dead (its [Free]
+    is skipped). *)
+
+val record :
+  Baseline.Allocator.t -> (Baseline.Allocator.t -> unit) -> t
+(** [record a f] runs [f] with a wrapped allocator handle and returns
+    the trace of what [f] did (in execution order, suitable for
+    {!replay}).  Must run on a simulated CPU like any allocator
+    traffic. *)

@@ -1,0 +1,62 @@
+type size_result = {
+  bytes : int;
+  blocks : int;
+  alloc_cycles : int;
+  free_cycles : int;
+  allocs_per_sec : float;
+  frees_per_sec : float;
+  pairs_per_sec : float;
+}
+
+let default_sizes = [| 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 |]
+
+let run ~which ?config ?(sizes = default_sizes) ?(cap = 0) () =
+  let m, a = Rig.fresh which ?config ~ncpus:1 () in
+  let cfg = Sim.Machine.config m in
+  let results = ref [] in
+  Sim.Machine.run m
+    [|
+      (fun _ ->
+        Array.iter
+          (fun bytes ->
+            let t0 = Sim.Machine.now () in
+            (* syscall_kma: allocate until exhaustion, threading the
+               blocks into a list through their first word. *)
+            let rec fill head n =
+              if cap > 0 && n >= cap then (head, n)
+              else
+                let addr = a.Baseline.Allocator.alloc ~bytes in
+                if addr = 0 then (head, n)
+                else begin
+                  Sim.Machine.write addr head;
+                  fill addr (n + 1)
+                end
+            in
+            let head, blocks = fill 0 0 in
+            let t1 = Sim.Machine.now () in
+            (* syscall_kmf: free the whole list. *)
+            let rec drain addr =
+              if addr <> 0 then begin
+                let next = Sim.Machine.read addr in
+                a.Baseline.Allocator.free ~addr ~bytes;
+                drain next
+              end
+            in
+            drain head;
+            let t2 = Sim.Machine.now () in
+            let alloc_cycles = t1 - t0 and free_cycles = t2 - t1 in
+            let rate pairs cycles = Rig.pairs_per_sec cfg ~pairs ~cycles in
+            results :=
+              {
+                bytes;
+                blocks;
+                alloc_cycles;
+                free_cycles;
+                allocs_per_sec = rate blocks alloc_cycles;
+                frees_per_sec = rate blocks free_cycles;
+                pairs_per_sec = rate blocks (alloc_cycles + free_cycles);
+              }
+              :: !results)
+          sizes);
+    |];
+  List.rev !results

@@ -1,0 +1,37 @@
+(** The paper's worst-case benchmark (Figure 9).
+
+    A script of [syscall_kma]/[syscall_kmf] equivalents: for each block
+    size in turn, allocate blocks until memory is exhausted (keeping
+    them on a linked list threaded through the blocks, as the paper's
+    kernel system call does), then free them all, then move to the next
+    size.  This exercises every layer on nearly every operation — the
+    worst possible per-allocation overhead.
+
+    An allocator that cannot coalesce wedges after the first size; the
+    new allocator completes every size with neither reboots nor
+    delays.  Frees of small blocks cost more than allocations because
+    each free must eventually map its block address to a per-page
+    freelist. *)
+
+type size_result = {
+  bytes : int;
+  blocks : int;  (** blocks obtained before exhaustion *)
+  alloc_cycles : int;
+  free_cycles : int;
+  allocs_per_sec : float;
+  frees_per_sec : float;
+  pairs_per_sec : float;
+      (** harmonic combination: pairs completed per second *)
+}
+
+val run :
+  which:Baseline.Allocator.which ->
+  ?config:Sim.Config.t ->
+  ?sizes:int array ->
+  ?cap:int ->
+  unit ->
+  size_result list
+(** [run ~which ()] sweeps the paper's nine sizes on one CPU of a fresh
+    machine.  [cap] bounds the blocks per size (0 = none) to keep big
+    simulations tractable.  A size that yields zero blocks reports
+    zeroed rates — how MK's wedging shows up. *)

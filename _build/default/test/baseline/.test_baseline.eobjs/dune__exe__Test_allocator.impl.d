@@ -1,0 +1,1 @@
+test/baseline/test_allocator.ml: Alcotest Baseline List Option Sim

@@ -1,0 +1,1 @@
+test/baseline/test_baseline.ml: Alcotest Test_allocator Test_lazybuddy Test_mk Test_oldkma

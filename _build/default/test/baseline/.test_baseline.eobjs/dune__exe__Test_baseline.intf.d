@@ -1,0 +1,1 @@
+test/baseline/test_baseline.mli:

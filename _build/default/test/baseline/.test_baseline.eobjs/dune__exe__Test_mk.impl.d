@@ -1,0 +1,1 @@
+test/baseline/test_mk.ml: Alcotest Array Baseline List Option QCheck QCheck_alcotest Sim

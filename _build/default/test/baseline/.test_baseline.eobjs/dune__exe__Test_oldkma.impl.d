@@ -1,0 +1,1 @@
+test/baseline/test_oldkma.ml: Alcotest Array Baseline List Option Printf QCheck QCheck_alcotest Sim

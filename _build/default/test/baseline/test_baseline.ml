@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "baseline"
+    [
+      ("mk", Test_mk.suite);
+      ("oldkma", Test_oldkma.suite);
+      ("lazybuddy", Test_lazybuddy.suite);
+      ("allocator", Test_allocator.suite);
+    ]

@@ -1,0 +1,1 @@
+test/dlm/test_dlm.ml: Alcotest Test_lockmgr Test_oltp

@@ -1,0 +1,1 @@
+test/dlm/test_dlm.mli:

@@ -1,0 +1,1 @@
+test/dlm/test_lockmgr.ml: Alcotest Array Baseline Dlm Hashtbl List Lockmgr Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/dlm/test_oltp.ml: Alcotest Dlm Kma Option Sim

@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "dlm"
+    [ ("lockmgr", Test_lockmgr.suite); ("oltp", Test_oltp.suite) ]

@@ -1,0 +1,1 @@
+test/experiments/test_experiments.ml: Alcotest Test_figures Test_plot Test_trace Test_workloads

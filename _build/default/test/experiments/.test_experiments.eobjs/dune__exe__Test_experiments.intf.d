@@ -1,0 +1,1 @@
+test/experiments/test_experiments.mli:

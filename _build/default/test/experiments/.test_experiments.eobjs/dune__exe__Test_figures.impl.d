@@ -1,0 +1,1 @@
+test/experiments/test_figures.ml: Alcotest Baseline Experiments Lazy List Printf

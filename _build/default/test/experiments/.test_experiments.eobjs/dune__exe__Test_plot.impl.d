@@ -1,0 +1,1 @@
+test/experiments/test_plot.ml: Alcotest Baseline Experiments Filename In_channel String Sys Workload

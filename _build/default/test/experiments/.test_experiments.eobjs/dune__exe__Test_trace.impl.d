@@ -1,0 +1,1 @@
+test/experiments/test_trace.ml: Alcotest Baseline List Option Sim Workload

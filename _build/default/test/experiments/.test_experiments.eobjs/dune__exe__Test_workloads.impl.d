@@ -1,0 +1,1 @@
+test/experiments/test_workloads.ml: Alcotest Baseline Hashtbl List Option Printf Workload

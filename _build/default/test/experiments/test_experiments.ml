@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "experiments"
+    [
+      ("workloads", Test_workloads.suite);
+      ("figures", Test_figures.suite);
+      ("trace", Test_trace.suite);
+      ("plot", Test_plot.suite);
+    ]

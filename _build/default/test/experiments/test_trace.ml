@@ -1,0 +1,131 @@
+(* Trace record / synthesise / serialise / replay. *)
+
+let machine () =
+  Sim.Machine.create
+    (Sim.Config.make ~ncpus:1 ~memory_words:131072 ~cache_lines:0 ())
+
+let on_cpu m f =
+  let r = ref None in
+  Sim.Machine.run m [| (fun _ -> r := Some (f ())) |];
+  Option.get !r
+
+let test_synthesize_valid () =
+  let t = Workload.Trace.synthesize ~ops:500 () in
+  (match Workload.Trace.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "has frees beyond ops (drain)" true
+    (List.length t >= 500)
+
+let test_synthesize_deterministic () =
+  let a = Workload.Trace.synthesize ~ops:200 ~seed:5 () in
+  let b = Workload.Trace.synthesize ~ops:200 ~seed:5 () in
+  let c = Workload.Trace.synthesize ~ops:200 ~seed:6 () in
+  Alcotest.(check bool) "same seed" true (a = b);
+  Alcotest.(check bool) "different seed" true (a <> c)
+
+let test_serialise_roundtrip () =
+  let t = Workload.Trace.synthesize ~ops:300 () in
+  match Workload.Trace.of_string (Workload.Trace.to_string t) with
+  | Ok t' -> Alcotest.(check bool) "roundtrip" true (t = t')
+  | Error e -> Alcotest.fail e
+
+let test_of_string_rejects_garbage () =
+  (match Workload.Trace.of_string "a 1 64\nnonsense\n" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> ());
+  match Workload.Trace.of_string "a 1 sixty\n" with
+  | Ok _ -> Alcotest.fail "accepted bad int"
+  | Error _ -> ()
+
+let test_validate_catches () =
+  let open Workload.Trace in
+  (match validate [ Free { id = 0 } ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "free of dead id accepted");
+  (match validate [ Alloc { id = 0; bytes = 16 } ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "leak accepted");
+  match
+    validate
+      [ Alloc { id = 0; bytes = 16 }; Alloc { id = 0; bytes = 16 };
+        Free { id = 0 }; Free { id = 0 } ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double id accepted"
+
+let test_replay_all_allocators () =
+  let t = Workload.Trace.synthesize ~ops:400 () in
+  List.iter
+    (fun which ->
+      let m = machine () in
+      let a = Baseline.Allocator.create which m in
+      let r = on_cpu m (fun () -> Workload.Trace.replay t a) in
+      Alcotest.(check int)
+        (Baseline.Allocator.name_of which ^ ": no failures")
+        0 r.Workload.Trace.failures;
+      Alcotest.(check bool) "cycles advanced" true (r.Workload.Trace.cycles > 0))
+    (Baseline.Allocator.all @ [ Baseline.Allocator.Lazybuddy ])
+
+let test_record_then_replay () =
+  (* Record a workload on one allocator, replay it on another: the
+     recorded trace is well-formed and replays cleanly. *)
+  let m = machine () in
+  let a = Baseline.Allocator.create Baseline.Allocator.Cookie m in
+  let trace =
+    on_cpu m (fun () ->
+        Workload.Trace.record a (fun wrapped ->
+            let live = ref [] in
+            for i = 1 to 200 do
+              if i mod 3 = 0 then (
+                match !live with
+                | (addr, bytes) :: rest ->
+                    live := rest;
+                    wrapped.Baseline.Allocator.free ~addr ~bytes
+                | [] -> ())
+              else begin
+                let bytes = 16 lsl (i mod 4) in
+                let addr = wrapped.Baseline.Allocator.alloc ~bytes in
+                live := (addr, bytes) :: !live
+              end
+            done;
+            List.iter
+              (fun (addr, bytes) ->
+                wrapped.Baseline.Allocator.free ~addr ~bytes)
+              !live))
+  in
+  (match Workload.Trace.validate trace with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("recorded trace invalid: " ^ e));
+  let m2 = machine () in
+  let oldkma = Baseline.Allocator.create Baseline.Allocator.Oldkma m2 in
+  let r = on_cpu m2 (fun () -> Workload.Trace.replay trace oldkma) in
+  Alcotest.(check int) "replays on oldkma" 0 r.Workload.Trace.failures
+
+let test_replay_determinism () =
+  let t = Workload.Trace.synthesize ~ops:300 () in
+  let run () =
+    let m = machine () in
+    let a = Baseline.Allocator.create Baseline.Allocator.Newkma m in
+    (on_cpu m (fun () -> Workload.Trace.replay t a)).Workload.Trace.cycles
+  in
+  Alcotest.(check int) "cycle-exact reruns" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "synthesized traces are valid" `Quick
+      test_synthesize_valid;
+    Alcotest.test_case "synthesis deterministic by seed" `Quick
+      test_synthesize_deterministic;
+    Alcotest.test_case "serialise roundtrip" `Quick test_serialise_roundtrip;
+    Alcotest.test_case "parser rejects garbage" `Quick
+      test_of_string_rejects_garbage;
+    Alcotest.test_case "validate catches malformed traces" `Quick
+      test_validate_catches;
+    Alcotest.test_case "replays on every allocator" `Quick
+      test_replay_all_allocators;
+    Alcotest.test_case "record then replay elsewhere" `Quick
+      test_record_then_replay;
+    Alcotest.test_case "replay is cycle-deterministic" `Quick
+      test_replay_determinism;
+  ]

@@ -1,0 +1,181 @@
+(* Workload generators: determinism, completion, and the invariants the
+   experiment harness relies on. *)
+
+let test_prng_determinism () =
+  let seq seed =
+    let r = Workload.Prng.create ~seed in
+    List.init 20 (fun _ -> Workload.Prng.int r ~bound:1000)
+  in
+  Alcotest.(check (list int)) "same seed same stream" (seq 7) (seq 7);
+  Alcotest.(check bool) "different seeds differ" true (seq 7 <> seq 8)
+
+let test_prng_bounds () =
+  let r = Workload.Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Workload.Prng.int r ~bound:17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_split_independent () =
+  let a = Workload.Prng.create ~seed:5 in
+  let b = Workload.Prng.split a in
+  let xs = List.init 10 (fun _ -> Workload.Prng.int a ~bound:1000) in
+  let ys = List.init 10 (fun _ -> Workload.Prng.int b ~bound:1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_prng_weighted () =
+  let r = Workload.Prng.create ~seed:2 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let v = Workload.Prng.weighted r [| (90, `A); (10, `B); (0, `C) |] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check int) "zero weight never picked" 0 (get `C);
+  Alcotest.(check bool) "ratio respected" true (get `A > 5 * get `B)
+
+let test_bestcase_deterministic () =
+  let run () =
+    Workload.Bestcase.run ~which:Baseline.Allocator.Cookie ~ncpus:2
+      ~iters:200 ~bytes:256 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "cycles equal" a.Workload.Bestcase.cycles
+    b.Workload.Bestcase.cycles;
+  Alcotest.(check int) "pairs" 400 a.Workload.Bestcase.pairs
+
+let test_bestcase_scales () =
+  let rate n =
+    (Workload.Bestcase.run ~which:Baseline.Allocator.Cookie ~ncpus:n
+       ~iters:200 ~bytes:256 ())
+      .Workload.Bestcase.pairs_per_sec
+  in
+  let r1 = rate 1 and r4 = rate 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 CPUs ~4x of 1 (%.2e vs %.2e)" r4 r1)
+    true
+    (r4 > 3.5 *. r1 && r4 < 4.5 *. r1)
+
+let test_bestcase_timed_methodology () =
+  (* The duration-based variant stops near the deadline and agrees with
+     the iteration-based variant on throughput. *)
+  let timed =
+    Workload.Bestcase.run_timed ~which:Baseline.Allocator.Cookie ~ncpus:2
+      ~duration_cycles:50_000 ~bytes:256 ()
+  in
+  Alcotest.(check bool) "did work" true (timed.Workload.Bestcase.pairs > 100);
+  Alcotest.(check bool) "stops near the deadline" true
+    (timed.Workload.Bestcase.cycles < 55_000);
+  let iter =
+    Workload.Bestcase.run ~which:Baseline.Allocator.Cookie ~ncpus:2
+      ~iters:500 ~bytes:256 ()
+  in
+  let ratio =
+    timed.Workload.Bestcase.pairs_per_sec
+    /. iter.Workload.Bestcase.pairs_per_sec
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rates agree (ratio %.2f)" ratio)
+    true
+    (ratio > 0.9 && ratio < 1.1)
+
+let test_worstcase_all_layers () =
+  let results =
+    Workload.Worstcase.run ~which:Baseline.Allocator.Newkma
+      ~config:(Workload.Rig.paper_config ~ncpus:1 ~memory_words:(128 * 1024) ())
+      ~sizes:[| 16; 256; 4096 |] ()
+  in
+  Alcotest.(check int) "three sizes" 3 (List.length results);
+  List.iter
+    (fun r ->
+      let open Workload.Worstcase in
+      if r.blocks < 20 then
+        Alcotest.failf "size %d wedged with %d blocks" r.bytes r.blocks;
+      if r.allocs_per_sec <= 0. || r.frees_per_sec <= 0. then
+        Alcotest.failf "size %d has zero rate" r.bytes)
+    results
+
+let test_worstcase_throughput_falls_with_size () =
+  let results =
+    Workload.Worstcase.run ~which:Baseline.Allocator.Newkma
+      ~config:(Workload.Rig.paper_config ~ncpus:1 ~memory_words:(128 * 1024) ())
+      ~sizes:[| 16; 4096 |] ()
+  in
+  match results with
+  | [ small; big ] ->
+      Alcotest.(check bool) "small blocks faster" true
+        Workload.Worstcase.(small.pairs_per_sec > big.pairs_per_sec)
+  | _ -> Alcotest.fail "expected two results"
+
+let test_cyclic_no_night_failures () =
+  let r =
+    Workload.Cyclic.run_kmem
+      ~config:(Workload.Rig.paper_config ~ncpus:1 ~memory_words:(512 * 1024) ())
+      ~days:2 ~day_ops:800 ~night_blocks:20 ()
+  in
+  Alcotest.(check int) "no night failures" 0 r.Workload.Cyclic.night_failures;
+  Alcotest.(check bool) "day work happened" true
+    (r.Workload.Cyclic.day_allocs > 300)
+
+let test_cyclic_dispatch () =
+  Alcotest.(check bool) "newkma instrumented" true
+    (Workload.Cyclic.run ~which:Baseline.Allocator.Newkma ~days:1
+       ~day_ops:100 ~night_blocks:4 ()
+    <> None);
+  Alcotest.(check bool) "baselines uninstrumented" true
+    (Workload.Cyclic.run ~which:Baseline.Allocator.Mk ~days:1 ~day_ops:100
+       ~night_blocks:4 ()
+    = None)
+
+let test_crosscpu_completes_all () =
+  List.iter
+    (fun which ->
+      let r = Workload.Crosscpu.run ~which ~pairs:1 ~blocks_per_pair:300 () in
+      Alcotest.(check int)
+        (Baseline.Allocator.name_of which ^ " transfers")
+        300 r.Workload.Crosscpu.transfers)
+    Baseline.Allocator.all
+
+let test_crosscpu_rejects_bad_pairs () =
+  match
+    Workload.Crosscpu.run ~which:Baseline.Allocator.Cookie ~pairs:0
+      ~blocks_per_pair:1 ()
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_mixed_balances () =
+  let r =
+    Workload.Mixed.run ~which:Baseline.Allocator.Newkma ~ncpus:2
+      ~ops_per_cpu:800 ()
+  in
+  Alcotest.(check int) "no failures" 0 r.Workload.Mixed.failures;
+  Alcotest.(check bool) "ops counted" true (r.Workload.Mixed.ops > 1600)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+    Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng split independence" `Quick
+      test_prng_split_independent;
+    Alcotest.test_case "prng weighted choice" `Quick test_prng_weighted;
+    Alcotest.test_case "bestcase deterministic" `Quick
+      test_bestcase_deterministic;
+    Alcotest.test_case "bestcase scales linearly (cookie)" `Quick
+      test_bestcase_scales;
+    Alcotest.test_case "bestcase timed methodology" `Quick
+      test_bestcase_timed_methodology;
+    Alcotest.test_case "worstcase completes every size" `Quick
+      test_worstcase_all_layers;
+    Alcotest.test_case "worstcase slows with block size" `Quick
+      test_worstcase_throughput_falls_with_size;
+    Alcotest.test_case "cyclic nights never fail" `Quick
+      test_cyclic_no_night_failures;
+    Alcotest.test_case "cyclic dispatch by allocator" `Quick
+      test_cyclic_dispatch;
+    Alcotest.test_case "crosscpu completes on all allocators" `Quick
+      test_crosscpu_completes_all;
+    Alcotest.test_case "crosscpu validates pairs" `Quick
+      test_crosscpu_rejects_bad_pairs;
+    Alcotest.test_case "mixed workload balances" `Quick test_mixed_balances;
+  ]

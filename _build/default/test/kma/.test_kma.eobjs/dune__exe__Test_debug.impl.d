@@ -1,0 +1,1 @@
+test/kma/test_debug.ml: Alcotest Kma List Sim String Util

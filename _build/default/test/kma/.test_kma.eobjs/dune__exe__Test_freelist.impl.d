@@ -1,0 +1,1 @@
+test/kma/test_freelist.ml: Alcotest Freelist Kma List QCheck QCheck_alcotest Sim Util

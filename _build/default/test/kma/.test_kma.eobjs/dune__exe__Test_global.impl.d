@@ -1,0 +1,1 @@
+test/kma/test_global.ml: Alcotest Array Global Kma Kmem Kstats List Pagepool QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/kma/test_kma.ml: Alcotest Test_debug Test_freelist Test_global Test_kmem Test_layout Test_objcache Test_pagepool Test_params Test_percpu Test_vmblk

@@ -1,0 +1,1 @@
+test/kma/test_kma.mli:

@@ -1,0 +1,1 @@
+test/kma/test_kmem.ml: Alcotest Array Cookie Kma Kmem Kstats Layout List Option Params QCheck QCheck_alcotest Sim Util

@@ -1,0 +1,1 @@
+test/kma/test_layout.ml: Alcotest Fun Kma Layout List QCheck QCheck_alcotest Sim Util

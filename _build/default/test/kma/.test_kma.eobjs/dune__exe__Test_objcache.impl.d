@@ -1,0 +1,1 @@
+test/kma/test_objcache.ml: Alcotest Array Kma Option Sim Util

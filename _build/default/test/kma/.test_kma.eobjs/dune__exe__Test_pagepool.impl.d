@@ -1,0 +1,1 @@
+test/kma/test_pagepool.ml: Alcotest Array Freelist Kma Kmem Kstats Layout List Pagepool Params QCheck QCheck_alcotest Sim Util

@@ -1,0 +1,1 @@
+test/kma/test_params.ml: Alcotest Array Kma Params QCheck QCheck_alcotest

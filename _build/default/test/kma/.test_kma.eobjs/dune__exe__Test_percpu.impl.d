@@ -1,0 +1,1 @@
+test/kma/test_percpu.ml: Alcotest Array Global Hashtbl Kma Kmem Kstats List Params Percpu QCheck QCheck_alcotest Sim Util

@@ -1,0 +1,1 @@
+test/kma/test_vmblk.ml: Alcotest Kma Kmem Kstats Layout List QCheck QCheck_alcotest Sim Util Vmblk

@@ -1,0 +1,1 @@
+test/kma/util.ml: Array Kma Sim

@@ -1,0 +1,113 @@
+(* The debug kernel: poison-on-free with use-after-free and double-free
+   detection, plus kmem_zalloc. *)
+
+let debug_kmem () =
+  let m = Util.machine () in
+  let params = Kma.Params.make ~vmblk_pages:16 ~debug:true () in
+  (m, Kma.Kmem.create m ~params ())
+
+let test_debug_roundtrip () =
+  (* Normal traffic is unaffected by the checks. *)
+  let m, k = debug_kmem () in
+  Util.on_cpu m (fun () ->
+      let live = List.init 50 (fun i -> (Kma.Kmem.alloc k ~bytes:(16 + i), 16 + i)) in
+      List.iter
+        (fun (a, bytes) ->
+          (* Legitimate use: scribble, then restore nothing — the user
+             owns the block until free, and free re-poisons. *)
+          Sim.Machine.write a 123;
+          Kma.Kmem.free k ~addr:a ~bytes)
+        live;
+      let again = List.init 50 (fun i -> (Kma.Kmem.alloc k ~bytes:(16 + i), 16 + i)) in
+      List.iter (fun (a, bytes) -> Kma.Kmem.free k ~addr:a ~bytes) again)
+
+let test_use_after_free_detected () =
+  let m, k = debug_kmem () in
+  Util.on_cpu m (fun () ->
+      let a = Kma.Kmem.alloc k ~bytes:256 in
+      Kma.Kmem.free k ~addr:a ~bytes:256;
+      (* Dangling write into the freed block's body. *)
+      Sim.Machine.write (a + 5) 0xBAD;
+      (* The block comes back LIFO; the poison check must fire. *)
+      match Kma.Kmem.alloc k ~bytes:256 with
+      | _ -> Alcotest.fail "use-after-free write not detected"
+      | exception Kma.Kmem.Corruption msg ->
+          Alcotest.(check bool) "names the block" true
+            (String.length msg > 0))
+
+let test_double_free_detected () =
+  let m, k = debug_kmem () in
+  Util.on_cpu m (fun () ->
+      let a = Kma.Kmem.alloc k ~bytes:128 in
+      Kma.Kmem.free k ~addr:a ~bytes:128;
+      match Kma.Kmem.free k ~addr:a ~bytes:128 with
+      | () -> Alcotest.fail "double free not detected"
+      | exception Kma.Kmem.Corruption _ -> ())
+
+let test_fresh_page_blocks_pass_check () =
+  (* Blocks straight from a split page must satisfy the alloc-side
+     poison check (they are poisoned at split time). *)
+  let m, k = debug_kmem () in
+  Util.on_cpu m (fun () ->
+      (* More allocations than one refill: forces several fresh pages. *)
+      let live = List.init 300 (fun _ -> Kma.Kmem.alloc k ~bytes:64) in
+      Alcotest.(check int) "all succeed" 300
+        (List.length (List.filter (fun a -> a <> 0) live));
+      List.iter (fun a -> Kma.Kmem.free k ~addr:a ~bytes:64) live)
+
+let test_release_kernel_pays_no_cost () =
+  (* With debug off, the fast path still retires exactly 13
+     instructions (the E2 criterion). *)
+  let m, k = Util.kmem () in
+  Util.on_cpu m (fun () ->
+      let c = Kma.Cookie.of_bytes_host k ~bytes:256 in
+      let a = Kma.Cookie.alloc k c in
+      Kma.Cookie.free k c a;
+      let r0 = Sim.Machine.retired m ~cpu:0 in
+      let a = Kma.Cookie.alloc k c in
+      Alcotest.(check int) "13 insns without debug" 13
+        (Sim.Machine.retired m ~cpu:0 - r0);
+      Kma.Cookie.free k c a)
+
+let test_alloc_zeroed () =
+  let m, k = Util.kmem () in
+  Util.on_cpu m (fun () ->
+      (* Dirty a block, free it, then kmem_zalloc must hand back zeroed
+         memory (same block, LIFO). *)
+      let a = Kma.Kmem.alloc k ~bytes:128 in
+      for w = 0 to 31 do
+        Sim.Machine.write (a + w) 0xFF
+      done;
+      Kma.Kmem.free k ~addr:a ~bytes:128;
+      let b = Kma.Kmem.alloc_zeroed k ~bytes:128 in
+      Alcotest.(check int) "same block" a b;
+      for w = 0 to 31 do
+        Alcotest.(check int) "zeroed" 0 (Sim.Machine.read (b + w))
+      done;
+      Kma.Kmem.free k ~addr:b ~bytes:128)
+
+let test_alloc_zeroed_large () =
+  let m, k = Util.kmem () in
+  Util.on_cpu m (fun () ->
+      let a = Kma.Kmem.alloc_zeroed k ~bytes:8192 in
+      Alcotest.(check int) "first word" 0 (Sim.Machine.read a);
+      Alcotest.(check int) "last word" 0 (Sim.Machine.read (a + 2047));
+      Kma.Kmem.free k ~addr:a ~bytes:8192)
+
+let suite =
+  [
+    Alcotest.test_case "debug kernel: clean traffic passes" `Quick
+      test_debug_roundtrip;
+    Alcotest.test_case "debug kernel: use-after-free detected" `Quick
+      test_use_after_free_detected;
+    Alcotest.test_case "debug kernel: double free detected" `Quick
+      test_double_free_detected;
+    Alcotest.test_case "debug kernel: fresh pages pre-poisoned" `Quick
+      test_fresh_page_blocks_pass_check;
+    Alcotest.test_case "release kernel: no debug overhead" `Quick
+      test_release_kernel_pays_no_cost;
+    Alcotest.test_case "kmem_zalloc zeroes the block" `Quick
+      test_alloc_zeroed;
+    Alcotest.test_case "kmem_zalloc for large blocks" `Quick
+      test_alloc_zeroed_large;
+  ]

@@ -1,0 +1,103 @@
+(* Constructed-object caches: ctor runs only on cold allocations,
+   constructed state survives the free/alloc cycle, overflow runs the
+   dtor and returns memory to kmem. *)
+
+let magic = 0xC0457
+let field = 2 (* word 0 is the cache's link; use a later word *)
+
+let make ?(target = 4) m k =
+  Util.on_cpu m (fun () ->
+      Kma.Objcache.create k ~bytes:256
+        ~ctor:(fun a -> Sim.Machine.write (a + field) magic)
+        ~dtor:(fun a -> Sim.Machine.write (a + field) 0)
+        ~target ())
+  |> Option.get
+
+let test_ctor_once_then_reuse () =
+  let m, k = Util.kmem () in
+  let c = make m k in
+  Util.on_cpu m (fun () ->
+      let a = Kma.Objcache.alloc c in
+      Alcotest.(check int) "constructed" magic
+        (Sim.Machine.read (a + field));
+      Kma.Objcache.release c a;
+      let b = Kma.Objcache.alloc c in
+      Alcotest.(check int) "same object back" a b;
+      Alcotest.(check int) "still constructed, ctor skipped" magic
+        (Sim.Machine.read (b + field));
+      Kma.Objcache.release c b);
+  Alcotest.(check int) "one construction" 1 (Kma.Objcache.ctor_calls c);
+  Alcotest.(check int) "one reuse" 1 (Kma.Objcache.reuses c)
+
+let test_overflow_destructs () =
+  let m, k = Util.kmem () in
+  let c = make ~target:2 m k in
+  Util.on_cpu m (fun () ->
+      let objs = Array.init 5 (fun _ -> Kma.Objcache.alloc c) in
+      (* Releasing 5 with a 2-object cache: 3 go through the dtor back
+         to kmem. *)
+      Array.iter (fun a -> Kma.Objcache.release c a) objs);
+  Alcotest.(check int) "five constructions" 5 (Kma.Objcache.ctor_calls c)
+
+let test_per_cpu_isolation () =
+  let m, k = Util.kmem ~ncpus:2 () in
+  let c = make m k in
+  (* CPU 0 fills its cache; CPU 1 must construct its own objects. *)
+  Sim.Machine.run m
+    [|
+      (fun _ ->
+        let a = Kma.Objcache.alloc c in
+        Kma.Objcache.release c a;
+        Sim.Machine.write 16 1);
+      (fun _ ->
+        while Sim.Machine.read 16 = 0 do
+          Sim.Machine.spin_pause ()
+        done;
+        let b = Kma.Objcache.alloc c in
+        Alcotest.(check int) "constructed for cpu1" magic
+          (Sim.Machine.read (b + field));
+        Kma.Objcache.release c b);
+    |];
+  Alcotest.(check int) "two constructions (one per CPU)" 2
+    (Kma.Objcache.ctor_calls c)
+
+let test_destroy_returns_memory () =
+  let m, k = Util.kmem () in
+  let baseline = Kma.Kmem.granted_pages_oracle k in
+  let c = make m k in
+  Util.on_cpu m (fun () ->
+      let objs = Array.init 8 (fun _ -> Kma.Objcache.alloc c) in
+      Array.iter (fun a -> Kma.Objcache.release c a) objs;
+      Kma.Objcache.destroy c;
+      Kma.Kmem.reap_local k;
+      Kma.Kmem.reap_global k);
+  Alcotest.(check bool) "memory back at kmem" true
+    (Kma.Kmem.granted_pages_oracle k <= baseline)
+
+let test_works_under_debug_kernel () =
+  (* The object cache's constructed objects are live from kmem's point
+     of view, so the debug kernel's poison discipline must not fire. *)
+  let m = Util.machine () in
+  let params = Kma.Params.make ~vmblk_pages:16 ~debug:true () in
+  let k = Kma.Kmem.create m ~params () in
+  let c = make m k in
+  Util.on_cpu m (fun () ->
+      for _ = 1 to 20 do
+        let a = Kma.Objcache.alloc c in
+        Kma.Objcache.release c a
+      done;
+      Kma.Objcache.destroy c)
+
+let suite =
+  [
+    Alcotest.test_case "ctor once, constructed state reused" `Quick
+      test_ctor_once_then_reuse;
+    Alcotest.test_case "overflow destructs back to kmem" `Quick
+      test_overflow_destructs;
+    Alcotest.test_case "per-CPU caches are private" `Quick
+      test_per_cpu_isolation;
+    Alcotest.test_case "destroy returns all memory" `Quick
+      test_destroy_returns_memory;
+    Alcotest.test_case "compatible with the debug kernel" `Quick
+      test_works_under_debug_kernel;
+  ]

@@ -1,0 +1,1 @@
+test/objpool/test_depot.ml: Alcotest Atomic Depot Domain List Objpool

@@ -1,0 +1,1 @@
+test/objpool/test_magazine.ml: Alcotest List Magazine Objpool QCheck QCheck_alcotest

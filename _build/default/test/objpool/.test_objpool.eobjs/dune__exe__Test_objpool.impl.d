@@ -1,0 +1,1 @@
+test/objpool/test_objpool.ml: Alcotest Test_depot Test_magazine Test_pool

@@ -1,0 +1,1 @@
+test/objpool/test_objpool.mli:

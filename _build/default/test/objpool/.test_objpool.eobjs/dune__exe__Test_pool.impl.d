@@ -1,0 +1,1 @@
+test/objpool/test_pool.ml: Alcotest Atomic Domain List Objpool Pool Pstats QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/sim/test_cache.ml: Alcotest Cache Config List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/sim/test_config.ml: Alcotest Sim

@@ -1,0 +1,1 @@
+test/sim/test_litmus.ml: Alcotest Array Config List Machine Memory Printf Sim

@@ -1,0 +1,1 @@
+test/sim/test_machine.ml: Alcotest Array Config List Machine Memory Printf QCheck QCheck_alcotest Sim Spinlock Vmsys

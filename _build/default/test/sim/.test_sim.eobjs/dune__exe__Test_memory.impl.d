@@ -1,0 +1,1 @@
+test/sim/test_memory.ml: Alcotest Array Fun List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/sim/test_sim.ml: Alcotest Test_cache Test_config Test_litmus Test_machine Test_memory

@@ -1,0 +1,311 @@
+open Sim
+
+let machine ?(ncpus = 4) ?(cache_lines = 0) () =
+  Machine.create (Config.make ~ncpus ~cache_lines ~memory_words:65536 ())
+
+let test_read_write_roundtrip () =
+  let m = machine () in
+  let result = ref 0 in
+  Machine.run m
+    [|
+      (fun _ ->
+        Machine.write 100 42;
+        result := Machine.read 100);
+    |];
+  Alcotest.(check int) "read back" 42 !result;
+  Alcotest.(check int) "visible in memory" 42 (Memory.get (Machine.memory m) 100)
+
+let test_work_charges_time () =
+  let m = machine () in
+  Machine.run m [| (fun _ -> Machine.work 1000) |];
+  Alcotest.(check int) "time charged" 1000 (Machine.cpu_time m ~cpu:0);
+  Alcotest.(check int) "retired" 1000 (Machine.retired m ~cpu:0)
+
+let test_cpu_id_and_now () =
+  let m = machine () in
+  let ids = Array.make 3 (-1) in
+  let times = Array.make 3 (-1) in
+  Machine.run m
+    (Array.init 3 (fun _ _cpu ->
+         let id = Machine.cpu_id () in
+         Machine.work (10 * (id + 1));
+         ids.(id) <- id;
+         times.(id) <- Machine.now ()));
+  Alcotest.(check (array int)) "ids" [| 0; 1; 2 |] ids;
+  Alcotest.(check (array int)) "now reflects work" [| 10; 20; 30 |] times
+
+let test_determinism () =
+  let trace_of () =
+    let m = machine ~ncpus:3 () in
+    let log = ref [] in
+    Machine.run_symmetric m ~ncpus:3 (fun cpu ->
+        for i = 1 to 20 do
+          let v = Machine.fetch_add 8 1 in
+          Machine.work ((cpu + i) mod 5);
+          log := (cpu, v) :: !log
+        done);
+    (!log, Machine.elapsed m)
+  in
+  let t1 = trace_of () and t2 = trace_of () in
+  Alcotest.(check bool) "identical traces" true (t1 = t2)
+
+let test_fetch_add_atomic () =
+  let m = machine ~ncpus:4 () in
+  Machine.run_symmetric m ~ncpus:4 (fun _ ->
+      for _ = 1 to 500 do
+        ignore (Machine.fetch_add 16 1)
+      done);
+  Alcotest.(check int) "no lost updates" 2000 (Memory.get (Machine.memory m) 16)
+
+(* A plain read-increment-write is NOT atomic in the simulation: with
+   interleaving CPUs, updates are lost — the machine really does model a
+   racy shared memory. *)
+let test_plain_rmw_races () =
+  let m = machine ~ncpus:4 () in
+  Machine.run_symmetric m ~ncpus:4 (fun _ ->
+      for _ = 1 to 500 do
+        let v = Machine.read 16 in
+        Machine.write 16 (v + 1)
+      done);
+  let total = Memory.get (Machine.memory m) 16 in
+  Alcotest.(check bool) "updates lost" true (total < 2000);
+  Alcotest.(check bool) "some progress" true (total >= 500)
+
+let test_spinlock_mutual_exclusion () =
+  let m = machine ~ncpus:4 () in
+  let lock = Spinlock.init (Machine.memory m) 8 in
+  Machine.run_symmetric m ~ncpus:4 (fun _ ->
+      for _ = 1 to 250 do
+        Spinlock.with_lock lock (fun () ->
+            let v = Machine.read 16 in
+            Machine.work 3;
+            Machine.write 16 (v + 1))
+      done);
+  Alcotest.(check int) "exact count under lock" 1000
+    (Memory.get (Machine.memory m) 16);
+  Alcotest.(check bool) "lock released" false
+    (Spinlock.holder_oracle (Machine.memory m) lock)
+
+let test_try_acquire () =
+  let m = machine ~ncpus:1 () in
+  let lock = Spinlock.init (Machine.memory m) 8 in
+  let got = ref [] in
+  Machine.run m
+    [|
+      (fun _ ->
+        got := Spinlock.try_acquire lock :: !got;
+        got := Spinlock.try_acquire lock :: !got;
+        Spinlock.release lock;
+        got := Spinlock.try_acquire lock :: !got);
+    |];
+  Alcotest.(check (list bool)) "acquire, fail, reacquire" [ true; false; true ]
+    (List.rev !got)
+
+let test_lock_contention_costs () =
+  (* Under contention the same critical section takes far more cycles per
+     operation than uncontended: the core phenomenon the paper's
+     allocator avoids. *)
+  let run ncpus =
+    let m = machine ~ncpus () in
+    let lock = Spinlock.init (Machine.memory m) 8 in
+    Machine.run_symmetric m ~ncpus (fun _ ->
+        for _ = 1 to 200 do
+          Spinlock.with_lock lock (fun () ->
+              let v = Machine.read 16 in
+              Machine.write 16 (v + 1))
+        done);
+    float_of_int (Machine.elapsed m) /. float_of_int (200 * ncpus)
+  in
+  let per_op_1 = run 1 and per_op_4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "contended %.1f > 2x uncontended %.1f" per_op_4 per_op_1)
+    true
+    (per_op_4 > 2.0 *. per_op_1)
+
+let test_virtual_time_accumulates_across_runs () =
+  let m = machine () in
+  Machine.run m [| (fun _ -> Machine.work 100) |];
+  Machine.run m [| (fun _ -> Machine.work 50) |];
+  Alcotest.(check int) "accumulated" 150 (Machine.cpu_time m ~cpu:0);
+  Machine.reset_clocks m;
+  Alcotest.(check int) "reset" 0 (Machine.cpu_time m ~cpu:0)
+
+let test_irq_flag () =
+  let m = machine () in
+  let mid = ref true and after = ref false in
+  Machine.run m
+    [|
+      (fun _ ->
+        Machine.irq_disable ();
+        (* observe the flag from inside via host closure *)
+        mid := Machine.irq_disabled m ~cpu:0;
+        Machine.irq_enable ();
+        after := Machine.irq_disabled m ~cpu:0);
+    |];
+  Alcotest.(check bool) "disabled inside" true !mid;
+  Alcotest.(check bool) "enabled after" false !after
+
+let test_ops_outside_simulation () =
+  Alcotest.check_raises "read outside" Machine.Not_in_simulation (fun () ->
+      ignore (Machine.read 0))
+
+let test_too_many_programs () =
+  let m = machine ~ncpus:2 () in
+  match Machine.run m (Array.make 3 (fun _ -> ())) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_watchdog_catches_livelock () =
+  let m = machine ~ncpus:2 () in
+  match
+    Machine.run ~max_cycles:50_000 m
+      [|
+        (fun _ ->
+          (* Spins on a signal nobody will ever write. *)
+          while Machine.read 8 = 0 do
+            Machine.spin_pause ()
+          done);
+        (fun _ -> Machine.work 10);
+      |]
+  with
+  | () -> Alcotest.fail "expected Watchdog"
+  | exception Machine.Watchdog t ->
+      Alcotest.(check bool) "expired past the limit" true (t > 50_000)
+
+let test_watchdog_quiet_on_success () =
+  let m = machine () in
+  Machine.run ~max_cycles:1_000_000 m [| (fun _ -> Machine.work 100) |];
+  Alcotest.(check int) "ran normally" 100 (Machine.cpu_time m ~cpu:0)
+
+let test_bus_model_single_cpu_neutral () =
+  (* With one CPU nothing ever queues on the bus, so the model must not
+     change single-CPU timings (this protects every single-CPU
+     calibration, including the 15x headline ratio). *)
+  let run bus_model =
+    let m =
+      Machine.create
+        (Config.make ~ncpus:1 ~memory_words:65536 ~cache_lines:64
+           ~bus_model ())
+    in
+    Machine.run m
+      [|
+        (fun _ ->
+          for i = 0 to 2000 do
+            Machine.write ((i * 7) mod 4096) i;
+            ignore (Machine.read ((i * 13) mod 4096))
+          done);
+      |];
+    Machine.elapsed m
+  in
+  Alcotest.(check int) "identical timing" (run false) (run true)
+
+let test_bus_model_serialises_misses () =
+  (* Eight CPUs streaming back-to-back misses oversubscribe the bus
+     (8 transfers x 1/4 occupancy > 1), so the run takes visibly longer
+     than with an infinitely wide bus. *)
+  let run bus_model =
+    let m =
+      Machine.create
+        (Config.make ~ncpus:8 ~memory_words:131072 ~cache_lines:8
+           ~bus_model ())
+    in
+    Machine.run_symmetric m ~ncpus:8 (fun cpu ->
+        for i = 0 to 2000 do
+          (* Disjoint per-CPU streams: pure capacity misses, no
+             coherence, so the only interaction is the bus itself. *)
+          ignore (Machine.read (8192 + (cpu * 8192) + (i * 8 mod 8192)))
+        done);
+    Machine.elapsed m
+  in
+  let free_bus = run false and queued = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "queued %d > free %d" queued free_bus)
+    true
+    (queued > free_bus + (free_bus / 2))
+
+let test_vmsys_accounting () =
+  let m = machine () in
+  let vm = Vmsys.create ~total_pages:2 ~grant_cost:100 ~reclaim_cost:50 in
+  let results = ref [] in
+  Machine.run m
+    [|
+      (fun _ ->
+        results := Vmsys.grant vm :: !results;
+        results := Vmsys.grant vm :: !results;
+        results := Vmsys.grant vm :: !results;
+        Vmsys.reclaim vm;
+        results := Vmsys.grant vm :: !results);
+    |];
+  Alcotest.(check (list bool))
+    "grant/exhaust/reclaim/grant"
+    [ true; true; false; true ]
+    (List.rev !results);
+  Alcotest.(check int) "granted" 2 (Vmsys.granted vm);
+  Alcotest.(check int) "peak" 2 (Vmsys.peak_granted vm);
+  Alcotest.(check int) "grants counted" 3 (Vmsys.grant_count vm);
+  (* 4 grant attempts (one failed, still charged) + 1 reclaim *)
+  Alcotest.(check int) "cycles charged" 450 (Machine.cpu_time m ~cpu:0)
+
+(* Property: under the spinlock, any mix of add amounts from any number
+   of CPUs sums exactly. *)
+let prop_locked_counter_exact =
+  QCheck.Test.make ~name:"locked counter is exact" ~count:30
+    QCheck.(pair (int_range 1 4) (small_list (int_bound 100)))
+    (fun (ncpus, amounts) ->
+      let m = machine ~ncpus () in
+      let lock = Spinlock.init (Machine.memory m) 8 in
+      Machine.run_symmetric m ~ncpus (fun _ ->
+          List.iter
+            (fun a ->
+              Spinlock.with_lock lock (fun () ->
+                  let v = Machine.read 16 in
+                  Machine.write 16 (v + a)))
+            amounts);
+      Memory.get (Machine.memory m) 16
+      = ncpus * List.fold_left ( + ) 0 amounts)
+
+(* Property: elapsed time is monotone in the amount of work done. *)
+let prop_time_monotone =
+  QCheck.Test.make ~name:"virtual time monotone in work" ~count:50
+    QCheck.(pair (int_bound 500) (int_bound 500))
+    (fun (w1, w2) ->
+      let run w =
+        let m = machine ~ncpus:1 () in
+        Machine.run m [| (fun _ -> Machine.work w) |];
+        Machine.elapsed m
+      in
+      (w1 <= w2) = (run w1 <= run w2))
+
+let suite =
+  [
+    Alcotest.test_case "read/write roundtrip" `Quick test_read_write_roundtrip;
+    Alcotest.test_case "work charges time" `Quick test_work_charges_time;
+    Alcotest.test_case "cpu_id and now" `Quick test_cpu_id_and_now;
+    Alcotest.test_case "runs are deterministic" `Quick test_determinism;
+    Alcotest.test_case "fetch_add is atomic" `Quick test_fetch_add_atomic;
+    Alcotest.test_case "plain rmw races (lost updates)" `Quick
+      test_plain_rmw_races;
+    Alcotest.test_case "spinlock mutual exclusion" `Quick
+      test_spinlock_mutual_exclusion;
+    Alcotest.test_case "try_acquire" `Quick test_try_acquire;
+    Alcotest.test_case "lock contention inflates cost" `Quick
+      test_lock_contention_costs;
+    Alcotest.test_case "virtual time across runs" `Quick
+      test_virtual_time_accumulates_across_runs;
+    Alcotest.test_case "irq flag tracked" `Quick test_irq_flag;
+    Alcotest.test_case "ops outside simulation rejected" `Quick
+      test_ops_outside_simulation;
+    Alcotest.test_case "too many programs rejected" `Quick
+      test_too_many_programs;
+    Alcotest.test_case "watchdog catches livelock" `Quick
+      test_watchdog_catches_livelock;
+    Alcotest.test_case "watchdog quiet on success" `Quick
+      test_watchdog_quiet_on_success;
+    Alcotest.test_case "bus model neutral on one CPU" `Quick
+      test_bus_model_single_cpu_neutral;
+    Alcotest.test_case "bus model serialises misses" `Quick
+      test_bus_model_serialises_misses;
+    Alcotest.test_case "vmsys accounting" `Quick test_vmsys_accounting;
+    QCheck_alcotest.to_alcotest prop_locked_counter_exact;
+    QCheck_alcotest.to_alcotest prop_time_monotone;
+  ]

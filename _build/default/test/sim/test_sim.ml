@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "sim"
+    [
+      ("config", Test_config.suite);
+      ("memory", Test_memory.suite);
+      ("cache", Test_cache.suite);
+      ("machine", Test_machine.suite);
+      ("litmus", Test_litmus.suite);
+    ]

@@ -1,0 +1,1 @@
+test/streams/test_buf.ml: Alcotest Baseline Buf Kma List Msg Option QCheck QCheck_alcotest Sim Streams

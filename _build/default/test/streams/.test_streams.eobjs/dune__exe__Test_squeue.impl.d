@@ -1,0 +1,1 @@
+test/streams/test_squeue.ml: Alcotest Baseline Buf List Option Sim Squeue Streams

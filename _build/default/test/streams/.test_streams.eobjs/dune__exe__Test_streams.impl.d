@@ -1,0 +1,1 @@
+test/streams/test_streams.ml: Alcotest Test_buf Test_squeue

@@ -1,0 +1,1 @@
+test/streams/test_streams.mli:

@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "streams"
+    [ ("buf", Test_buf.suite); ("squeue", Test_squeue.suite) ]
