@@ -86,12 +86,49 @@ let bench_fig9 () =
 
 (* --- E6: DLM miss rates --- *)
 
+(* Set by the --flight-recorder command-line flag: sections that run the
+   DLM workload record a per-CPU event trace and print the
+   flight-recorder report (host-side, zero simulated-cycle cost). *)
+let flightrec_enabled = ref false
+
+let with_flightrec ~ncpus f =
+  if not !flightrec_enabled then f ()
+  else begin
+    let fr = Flightrec.Recorder.create ~ncpus () in
+    Flightrec.Recorder.install fr;
+    Fun.protect
+      ~finally:(fun () -> Flightrec.Recorder.uninstall ())
+      (fun () ->
+        let r = f () in
+        print_newline ();
+        print_string (Flightrec.Report.to_string fr);
+        r)
+  end
+
 let bench_missrates () =
   wall (fun () ->
-      let r = Experiments.Missrates.run ~transactions_per_cpu:2000 () in
-      Experiments.Missrates.print r;
-      Printf.printf "all rates within analytic bounds: %b\n"
-        (Experiments.Missrates.within_bounds r))
+      with_flightrec ~ncpus:4 (fun () ->
+          let r = Experiments.Missrates.run ~transactions_per_cpu:2000 () in
+          Experiments.Missrates.print r;
+          Printf.printf "all rates within analytic bounds: %b\n"
+            (Experiments.Missrates.within_bounds r)))
+
+(* --- Smoke: a tiny recorded DLM run for dune's @runtest-smoke --- *)
+
+let bench_smoke () =
+  wall (fun () ->
+      section "Smoke: DLM workload with the flight recorder";
+      let saved = !flightrec_enabled in
+      flightrec_enabled := true;
+      Fun.protect
+        ~finally:(fun () -> flightrec_enabled := saved)
+        (fun () ->
+          with_flightrec ~ncpus:2 (fun () ->
+              let r =
+                Experiments.Missrates.run ~ncpus:2 ~transactions_per_cpu:150
+                  ()
+              in
+              Experiments.Missrates.print r)))
 
 (* --- Ablation A: the target parameter --- *)
 
@@ -399,13 +436,20 @@ let sections =
     ("roads-not-taken", bench_roads_not_taken);
     ("bechamel", bechamel_suite);
     ("pool-domains", bench_pool_domains);
+    ("smoke", bench_smoke);
   ]
 
+(* "smoke" is for dune's @runtest-smoke alias; it is not part of the
+   run-everything default. *)
+let default_sections =
+  List.filter (fun (n, _) -> n <> "smoke") sections
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, names = List.partition (fun a -> a = "--flight-recorder") args in
+  if flags <> [] then flightrec_enabled := true;
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match names with [] -> List.map fst default_sections | names -> names
   in
   List.iter
     (fun name ->

@@ -136,6 +136,32 @@ let analysis_cmd =
        ~doc:"allocb/freeb access-cost profile on the old allocator (E1).")
     Term.(const run $ samples)
 
+(* Shared --flight-recorder plumbing: install a recorder around a
+   workload run and print the report afterwards.  Recording is
+   host-side, so the run's simulated cycle counts are unchanged. *)
+let flightrec_flag =
+  Arg.(
+    value & flag
+    & info [ "flight-recorder" ]
+        ~doc:
+          "Record a per-CPU event trace (allocator layers, spinlocks, VM \
+           system) and print the flight-recorder report after the run. \
+           Zero simulated-cycle overhead.")
+
+let with_flightrec ~enabled ~ncpus f =
+  if not enabled then f ()
+  else begin
+    let fr = Flightrec.Recorder.create ~ncpus () in
+    Flightrec.Recorder.install fr;
+    Fun.protect
+      ~finally:(fun () -> Flightrec.Recorder.uninstall ())
+      (fun () ->
+        let r = f () in
+        print_newline ();
+        print_string (Flightrec.Report.to_string fr);
+        r)
+  end
+
 let missrates_cmd =
   let ncpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs.") in
   let txs =
@@ -143,16 +169,21 @@ let missrates_cmd =
       value & opt int 3000
       & info [ "transactions" ] ~doc:"Transactions per CPU.")
   in
-  let run ncpus txs =
-    let r = Experiments.Missrates.run ~ncpus ~transactions_per_cpu:txs () in
-    Experiments.Missrates.print r;
-    if not (Experiments.Missrates.within_bounds r) then
-      print_endline "WARNING: a measured rate exceeded its analytic bound"
+  let run ncpus txs flightrec =
+    with_flightrec ~enabled:flightrec ~ncpus (fun () ->
+        let r =
+          Experiments.Missrates.run ~ncpus ~transactions_per_cpu:txs ()
+        in
+        Experiments.Missrates.print r;
+        if not (Experiments.Missrates.within_bounds r) then
+          print_endline "WARNING: a measured rate exceeded its analytic bound")
   in
   Cmd.v
     (Cmd.info "missrates"
-       ~doc:"Per-layer miss rates under the DLM/OLTP workload (E6).")
-    Term.(const run $ ncpus $ txs)
+       ~doc:
+         "Per-layer miss rates under the DLM/OLTP workload (E6); \
+          $(b,--flight-recorder) adds the time-resolved trace report.")
+    Term.(const run $ ncpus $ txs $ flightrec_flag)
 
 let cyclic_cmd =
   let days = Arg.(value & opt int 3 & info [ "days" ] ~doc:"Day/night cycles.") in

@@ -1,0 +1,22 @@
+(** Render a recorded flight into a human-readable text report.
+
+    The report is computed host-side from a {!Recorder.t} snapshot:
+
+    - recording coverage (events retained / emitted, per-CPU ring drops);
+    - per-lock contention: acquires, contended acquires, spin counts and
+      hold times, from paired acquire/release events;
+    - per-layer miss timeline: the simulated-time range split into
+      buckets, counting allocations, per-CPU misses, global-layer
+      misses, page grabs and VM denials in each;
+    - page-lifetime statistics from paired grab/return events;
+    - VM-system grant/reclaim/denial counts;
+    - vmblk carve/coalesce, large-allocation and object-cache totals.
+
+    Rendering is deterministic for a deterministic simulation, so the
+    output is suitable for golden tests. *)
+
+val pp : ?buckets:int -> Format.formatter -> Recorder.t -> unit
+(** [pp ppf r] renders the report; [buckets] (default 10) controls the
+    timeline resolution. *)
+
+val to_string : ?buckets:int -> Recorder.t -> string

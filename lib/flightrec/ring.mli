@@ -1,0 +1,35 @@
+(** Bounded ring buffer that overwrites its oldest entries.
+
+    The flight recorder keeps one per CPU.  Pushing into a full ring
+    evicts the oldest entry and counts it as dropped; the retained
+    window is always the newest [capacity] entries, in insertion
+    order. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** [create ~capacity ~dummy] is an empty ring.  [dummy] fills unused
+    slots (never observable through the API).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+(** Entries currently retained, [<= capacity]. *)
+
+val total : 'a t -> int
+(** Entries ever pushed. *)
+
+val dropped : 'a t -> int
+(** Entries overwritten before they were read: [total - length]. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Oldest retained entry first. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit
+(** Forget all entries and zero the counters. *)

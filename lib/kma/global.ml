@@ -96,18 +96,26 @@ let get_list (ctx : Ctx.t) ~si =
   let st = Kstats.size ctx.Ctx.stats si in
   Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->
       st.Kstats.gbl_gets <- st.Kstats.gbl_gets + 1;
-      let head, count = pop_list ctx ~si in
-      if head <> 0 then (head, count)
-      else begin
-        let tgt = target ctx si in
-        let bh, bc = take_from_bucket ctx ~si ~n:tgt in
-        if bc > 0 then (bh, bc)
+      let result =
+        let head, count = pop_list ctx ~si in
+        if head <> 0 then (head, count, false)
         else begin
-          refill ctx ~si;
-          let head, count = pop_list ctx ~si in
-          if head <> 0 then (head, count) else take_from_bucket ctx ~si ~n:tgt
+          let tgt = target ctx si in
+          let bh, bc = take_from_bucket ctx ~si ~n:tgt in
+          if bc > 0 then (bh, bc, false)
+          else begin
+            refill ctx ~si;
+            let head, count = pop_list ctx ~si in
+            if head <> 0 then (head, count, true)
+            else
+              let bh, bc = take_from_bucket ctx ~si ~n:tgt in
+              (bh, bc, true)
+          end
         end
-      end)
+      in
+      let head, count, miss = result in
+      if Trace.on () then Trace.emit (Flightrec.Event.Gbl_get { si; miss });
+      (head, count))
 
 let put_list (ctx : Ctx.t) ~si ~head ~count =
   let ly = ctx.Ctx.layout in
@@ -115,8 +123,10 @@ let put_list (ctx : Ctx.t) ~si ~head ~count =
   Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->
       st.Kstats.gbl_puts <- st.Kstats.gbl_puts + 1;
       push_list ctx ~si head ~count;
-      if Machine.read (f_nlists ly ~si) >= 2 * gbltarget ctx si then
-        drain ctx ~si)
+      let overflow = Machine.read (f_nlists ly ~si) >= 2 * gbltarget ctx si in
+      if Trace.on () then
+        Trace.emit (Flightrec.Event.Gbl_put { si; drain = overflow });
+      if overflow then drain ctx ~si)
 
 let put_partial (ctx : Ctx.t) ~si ~head ~count =
   let ly = ctx.Ctx.layout in
@@ -138,8 +148,12 @@ let put_partial (ctx : Ctx.t) ~si ~head ~count =
           end
         in
         regroup ();
-        if Machine.read (f_nlists ly ~si) >= 2 * gbltarget ctx si then
-          drain ctx ~si)
+        let overflow =
+          Machine.read (f_nlists ly ~si) >= 2 * gbltarget ctx si
+        in
+        if Trace.on () then
+          Trace.emit (Flightrec.Event.Gbl_put { si; drain = overflow });
+        if overflow then drain ctx ~si)
 
 let drain_all (ctx : Ctx.t) ~si =
   Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->

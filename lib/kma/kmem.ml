@@ -55,6 +55,18 @@ let create machine ?(params = Params.default) () =
   Global.boot_init ctx;
   Pagepool.boot_init ctx;
   Vmblk.boot_init ctx;
+  (* Name the allocator's locks for flight-recorder reports (no-op when
+     no recorder is installed; boot-time, host-side). *)
+  for si = 0 to nsizes - 1 do
+    let bytes = params.Params.sizes_bytes.(si) in
+    Flightrec.Recorder.note_lock
+      ~addr:(Layout.gbl_addr layout ~si)
+      (Printf.sprintf "gbl[%dB]" bytes);
+    Flightrec.Recorder.note_lock
+      ~addr:(Layout.pagepool_addr layout ~si)
+      (Printf.sprintf "pagepool[%dB]" bytes)
+  done;
+  Flightrec.Recorder.note_lock ~addr:layout.Layout.vmctl_base "vmblk";
   ctx
 
 let max_small_bytes (t : t) =

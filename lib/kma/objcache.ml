@@ -65,10 +65,14 @@ let alloc t =
       Machine.write (p + o_count) (Machine.read (p + o_count) - 1);
       Machine.irq_enable ();
       t.nreuse <- t.nreuse + 1;
+      if Trace.on () then
+        Trace.emit (Flightrec.Event.Obj_alloc { hit = true });
       head
     end
     else begin
       Machine.irq_enable ();
+      if Trace.on () then
+        Trace.emit (Flightrec.Event.Obj_alloc { hit = false });
       match Cookie.try_alloc t.kmem t.cookie with
       | None -> 0
       | Some a ->
@@ -88,10 +92,14 @@ let release t addr =
     Machine.write addr (Machine.read (p + o_head));
     Machine.write (p + o_head) addr;
     Machine.write (p + o_count) (count + 1);
-    Machine.irq_enable ()
+    Machine.irq_enable ();
+    if Trace.on () then
+      Trace.emit (Flightrec.Event.Obj_free { cached = true })
   end
   else begin
     Machine.irq_enable ();
+    if Trace.on () then
+      Trace.emit (Flightrec.Event.Obj_free { cached = false });
     (match t.dtor with Some d -> d addr | None -> ());
     Cookie.free t.kmem t.cookie addr
   end

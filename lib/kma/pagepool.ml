@@ -125,6 +125,8 @@ let get_blocks (ctx : Ctx.t) ~si ~want =
               if page = 0 then (acc, got)
               else begin
                 st.Kstats.pages_grabbed <- st.Kstats.pages_grabbed + 1;
+                if Trace.on () then
+                  Trace.emit (Flightrec.Event.Page_grab { si; page });
                 split_page ctx ~si page;
                 gather acc got
               end
@@ -171,7 +173,10 @@ let put_chain (ctx : Ctx.t) ~si head =
       if nfree' = full then begin
         (* Page fully free: return it at once. *)
         st.Kstats.pages_returned <- st.Kstats.pages_returned + 1;
-        Vmblk.free_pages ctx ~page:(Layout.page_of_pd ly ~pd) ~npages:1
+        let page = Layout.page_of_pd ly ~pd in
+        if Trace.on () then
+          Trace.emit (Flightrec.Event.Page_return { si; page });
+        Vmblk.free_pages ctx ~page ~npages:1
       end
       else bucket_insert ly ~si ~nfree:nfree' pd)
 

@@ -31,14 +31,17 @@ let boot_init (ctx : Ctx.t) =
     done
   done
 
-(* Interrupts are disabled throughout; returns 0 on exhaustion. *)
+(* Interrupts are disabled throughout; returns 0 on exhaustion.  The
+   second component is the layer of satisfaction for the flight
+   recorder: [Percpu] when the block came off main or aux (still
+   CPU-local), [Global] when a list transfer was needed. *)
 let rec alloc_disabled (ctx : Ctx.t) st ~si pcc =
   let h = Machine.read (pcc + o_main_head) in
   if h <> 0 then begin
     Machine.write (pcc + o_main_head) (Machine.read (h + Freelist.link));
     Machine.write (pcc + o_main_cnt) (Machine.read (pcc + o_main_cnt) - 1);
     Machine.work w_alloc_fast;
-    h
+    (h, Flightrec.Event.Percpu)
   end
   else begin
     Machine.work w_slow_branch;
@@ -55,13 +58,13 @@ let rec alloc_disabled (ctx : Ctx.t) st ~si pcc =
     else begin
       st.Kstats.alloc_misses <- st.Kstats.alloc_misses + 1;
       let head, count = Global.get_list ctx ~si in
-      if count = 0 then 0
+      if count = 0 then (0, Flightrec.Event.Global)
       else begin
         (* First block satisfies the request; the rest become main. *)
         Machine.write (pcc + o_main_head)
           (Machine.read (head + Freelist.link));
         Machine.write (pcc + o_main_cnt) (count - 1);
-        head
+        (head, Flightrec.Event.Global)
       end
     end
   end
@@ -110,8 +113,12 @@ let alloc (ctx : Ctx.t) ~si =
   let st = Kstats.size ctx.Ctx.stats si in
   st.Kstats.allocs <- st.Kstats.allocs + 1;
   Machine.irq_disable ();
-  let a = alloc_disabled ctx st ~si pcc in
+  let a, layer = alloc_disabled ctx st ~si pcc in
   Machine.irq_enable ();
+  if Trace.on () then
+    Trace.emit
+      (if a = 0 then Flightrec.Event.Alloc_fail { si }
+       else Flightrec.Event.Alloc { si; layer });
   if a <> 0 && (Ctx.params ctx).Params.debug then
     check_poison_on_alloc ctx ~si a;
   a
@@ -124,6 +131,7 @@ let free (ctx : Ctx.t) ~si a =
   let st = Kstats.size ctx.Ctx.stats si in
   st.Kstats.frees <- st.Kstats.frees + 1;
   Machine.irq_disable ();
+  let layer = ref Flightrec.Event.Percpu in
   let cnt = Machine.read (pcc + o_main_cnt) in
   let tgt = Machine.read (pcc + o_target) in
   if cnt < tgt then begin
@@ -139,6 +147,7 @@ let free (ctx : Ctx.t) ~si a =
       (* aux holds a full target-sized list: one O(1) hand-off to the
          global layer. *)
       st.Kstats.free_misses <- st.Kstats.free_misses + 1;
+      layer := Flightrec.Event.Global;
       Global.put_list ctx ~si
         ~head:(Machine.read (pcc + o_aux_head))
         ~count:acnt
@@ -150,7 +159,8 @@ let free (ctx : Ctx.t) ~si a =
     Machine.write (pcc + o_main_head) a;
     Machine.write (pcc + o_main_cnt) 1
   end;
-  Machine.irq_enable ()
+  Machine.irq_enable ();
+  if Trace.on () then Trace.emit (Flightrec.Event.Free { si; layer = !layer })
 
 let drain (ctx : Ctx.t) ~si =
   let cpu = Machine.cpu_id () in

@@ -1,0 +1,7 @@
+let on = Flightrec.Recorder.on
+
+let emit kind =
+  Flightrec.Recorder.emit
+    ~cpu:(Sim.Machine.cpu_id ())
+    ~time:(Sim.Machine.now ())
+    kind

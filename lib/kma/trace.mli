@@ -1,0 +1,17 @@
+(** Flight-recorder emission helper shared by the allocator layers.
+
+    Wraps {!Flightrec.Recorder.emit} with the current simulated CPU and
+    clock ({!Sim.Machine.cpu_id} / {!Sim.Machine.now} are free of
+    charge), so an instrumentation site is
+
+    {[ if Trace.on () then Trace.emit (Flightrec.Event.Alloc ...) ]}
+
+    and the disabled path is the single branch of [Trace.on]. *)
+
+val on : unit -> bool
+(** True iff a flight recorder is installed and enabled. *)
+
+val emit : Flightrec.Event.kind -> unit
+(** Record one event stamped with the current CPU and simulated time.
+    Must run inside a simulated program; always guard with {!on} so the
+    event value is not even constructed when recording is off. *)

@@ -186,7 +186,12 @@ let alloc_pages (ctx : Ctx.t) ~npages =
             end
           in
           carve ly pd ~npages;
-          if back 0 then Layout.page_of_pd ly ~pd
+          if back 0 then begin
+            let page = Layout.page_of_pd ly ~pd in
+            if Trace.on () then
+              Trace.emit (Flightrec.Event.Vmblk_carve { npages; page });
+            page
+          end
           else begin
             (* Out of physical memory: release the span again (it will
                coalesce with whatever we just split it from). *)
@@ -207,7 +212,9 @@ let free_pages (ctx : Ctx.t) ~page ~npages =
       let head_pd = Layout.pd_of_page ly ~page_addr:page in
       mark_free_span ly ~head_pd ~len:npages;
       span_insert ly head_pd;
-      coalesce_back ly head_pd npages)
+      coalesce_back ly head_pd npages;
+      if Trace.on () then
+        Trace.emit (Flightrec.Event.Vmblk_coalesce { npages; page }))
 
 let pd_of_block (ctx : Ctx.t) a =
   let ly = ctx.Ctx.layout in
@@ -227,6 +234,8 @@ let alloc_large (ctx : Ctx.t) ~bytes =
   Machine.work 20 (* request validation and span-size arithmetic *);
   let a = alloc_pages ctx ~npages in
   if a <> 0 then ctx.Ctx.stats.Kstats.large_allocs <- ctx.Ctx.stats.Kstats.large_allocs + 1;
+  if Trace.on () then
+    Trace.emit (Flightrec.Event.Large_alloc { npages; ok = a <> 0 });
   a
 
 let free_large (ctx : Ctx.t) ~addr ~bytes =
@@ -237,7 +246,8 @@ let free_large (ctx : Ctx.t) ~addr ~bytes =
   assert (Machine.read (pd + pd_state) = st_span_alloc);
   assert (Machine.read (pd + pd_arg) = npages);
   free_pages ctx ~page:addr ~npages;
-  ctx.Ctx.stats.Kstats.large_frees <- ctx.Ctx.stats.Kstats.large_frees + 1
+  ctx.Ctx.stats.Kstats.large_frees <- ctx.Ctx.stats.Kstats.large_frees + 1;
+  if Trace.on () then Trace.emit (Flightrec.Event.Large_free { npages })
 
 (* --- host-side oracles --- *)
 

@@ -22,17 +22,24 @@ let try_acquire t =
    deterministic jitter de-phasing the loop) guarantees progress and
    honestly charges the bus traffic that made these locks expensive. *)
 let acquire t =
-  let rec attempt () =
+  let rec attempt spins =
     if not (try_acquire t) then begin
       Machine.spin_pause ();
-      attempt ()
+      attempt (spins + 1)
     end
+    else spins
   in
-  attempt ()
+  let spins = attempt 0 in
+  if Flightrec.Recorder.on () then
+    Flightrec.Recorder.emit ~cpu:(Machine.cpu_id ()) ~time:(Machine.now ())
+      (Flightrec.Event.Lock_acquire { lock = t.a; spins })
 
 let release t =
   assert (Machine.read t.a = locked_value);
-  Machine.write t.a unlocked_value
+  Machine.write t.a unlocked_value;
+  if Flightrec.Recorder.on () then
+    Flightrec.Recorder.emit ~cpu:(Machine.cpu_id ()) ~time:(Machine.now ())
+      (Flightrec.Event.Lock_release { lock = t.a })
 
 let with_lock t f =
   acquire t;

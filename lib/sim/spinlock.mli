@@ -21,11 +21,14 @@ val addr : t -> Memory.addr
 val acquire : t -> unit
 (** [acquire t] spins until the lock is taken: reads until the word looks
     free, then attempts a compare-and-swap, backing off with
-    {!Machine.spin_pause} on failure. *)
+    {!Machine.spin_pause} on failure.  When a {!Flightrec.Recorder} is
+    installed, emits a [Lock_acquire] event carrying the failed-attempt
+    (spin) count — host-side, at zero simulated cost. *)
 
 val release : t -> unit
 (** [release t] stores the unlocked value.  The caller must hold the
-    lock (checked by assertion). *)
+    lock (checked by assertion).  Emits [Lock_release] when a flight
+    recorder is installed. *)
 
 val try_acquire : t -> bool
 (** [try_acquire t] makes a single attempt. *)

@@ -6,6 +6,12 @@ type t = {
   mutable peak : int;
   mutable grants : int;
   mutable reclaims : int;
+  mutable denials : int;
+  mutable injected_denials : int;
+  (* Fault injection: deny a grant when the next PRNG draw, reduced to
+     16 bits, falls below [fault_threshold] (0 = off). *)
+  mutable fault_threshold : int;
+  mutable fault_state : int;
 }
 
 let create ~total_pages ~grant_cost ~reclaim_cost =
@@ -20,15 +26,55 @@ let create ~total_pages ~grant_cost ~reclaim_cost =
     peak = 0;
     grants = 0;
     reclaims = 0;
+    denials = 0;
+    injected_denials = 0;
+    fault_threshold = 0;
+    fault_state = 0;
   }
+
+(* Same splitmix-style mixer as Workload.Prng, inlined so the simulator
+   stays dependency-free; host-side state, so fault draws charge no
+   simulated cycles and runs stay deterministic. *)
+let fault_gamma = 0x2545F4914F6CDD1D
+let fault_m1 = 0x2F58476D1CE4E5B9
+let fault_m2 = 0x14D049BB133111EB
+
+let fault_next t =
+  t.fault_state <- t.fault_state + fault_gamma;
+  let z = t.fault_state in
+  let z = (z lxor (z lsr 30)) * fault_m1 in
+  let z = (z lxor (z lsr 27)) * fault_m2 in
+  (z lxor (z lsr 31)) land max_int
+
+let set_fault_rate t ?(seed = 1) rate =
+  if not (Float.is_finite rate) || rate < 0. || rate > 1. then
+    invalid_arg "Sim.Vmsys.set_fault_rate: rate outside [0,1]";
+  t.fault_threshold <- int_of_float (rate *. 65536.);
+  t.fault_state <- seed lxor fault_gamma
+
+let fault_rate t = float_of_int t.fault_threshold /. 65536.
+
+let emit kind =
+  if Flightrec.Recorder.on () then
+    Flightrec.Recorder.emit ~cpu:(Machine.cpu_id ()) ~time:(Machine.now ())
+      kind
 
 let grant t =
   Machine.work t.grant_cost;
-  if t.ngranted >= t.total then false
+  let injected =
+    t.fault_threshold > 0 && fault_next t land 0xFFFF < t.fault_threshold
+  in
+  if injected || t.ngranted >= t.total then begin
+    t.denials <- t.denials + 1;
+    if injected then t.injected_denials <- t.injected_denials + 1;
+    emit (Flightrec.Event.Vm_denial { injected });
+    false
+  end
   else begin
     t.ngranted <- t.ngranted + 1;
     t.grants <- t.grants + 1;
     if t.ngranted > t.peak then t.peak <- t.ngranted;
+    emit Flightrec.Event.Vm_grant;
     true
   end
 
@@ -37,7 +83,8 @@ let reclaim t =
   if t.ngranted <= 0 then
     invalid_arg "Sim.Vmsys.reclaim: more reclaims than grants";
   t.ngranted <- t.ngranted - 1;
-  t.reclaims <- t.reclaims + 1
+  t.reclaims <- t.reclaims + 1;
+  emit Flightrec.Event.Vm_reclaim
 
 let granted t = t.ngranted
 let available t = t.total - t.ngranted
@@ -45,8 +92,12 @@ let total_pages t = t.total
 let peak_granted t = t.peak
 let grant_count t = t.grants
 let reclaim_count t = t.reclaims
+let denial_count t = t.denials
+let injected_denial_count t = t.injected_denials
 
 let reset_counters t =
   t.grants <- 0;
   t.reclaims <- 0;
+  t.denials <- 0;
+  t.injected_denials <- 0;
   t.peak <- t.ngranted

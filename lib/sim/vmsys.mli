@@ -21,11 +21,30 @@ val create : total_pages:int -> grant_cost:int -> reclaim_cost:int -> t
     negative. *)
 
 val grant : t -> bool
-(** [grant t] asks for one physical page; false when none remain. *)
+(** [grant t] asks for one physical page; false when none remain or
+    when fault injection denies the request.  Emits [Vm_grant] or
+    [Vm_denial] when a {!Flightrec.Recorder} is installed. *)
 
 val reclaim : t -> unit
-(** [reclaim t] returns one physical page.
+(** [reclaim t] returns one physical page; emits [Vm_reclaim] when a
+    flight recorder is installed.
     @raise Invalid_argument if more pages are reclaimed than granted. *)
+
+(** {1 Fault injection (host-side)}
+
+    Models a VM system under memory pressure refusing page grants.
+    Denials are driven by a deterministic splitmix PRNG private to this
+    instance, so simulations with fault injection remain reproducible;
+    the draw is host-side and charges no simulated cycles. *)
+
+val set_fault_rate : t -> ?seed:int -> float -> unit
+(** [set_fault_rate t rate] makes each subsequent {!grant} fail with
+    probability [rate] (in addition to genuine exhaustion), reseeding
+    the fault PRNG.  [rate = 0.] turns injection off.
+    @raise Invalid_argument if [rate] is outside [0, 1]. *)
+
+val fault_rate : t -> float
+(** Currently configured injection rate (quantised to 1/65536). *)
 
 val granted : t -> int
 val available : t -> int
@@ -33,4 +52,11 @@ val total_pages : t -> int
 val peak_granted : t -> int
 val grant_count : t -> int
 val reclaim_count : t -> int
+
+val denial_count : t -> int
+(** Grants refused, for any reason, since the last counter reset. *)
+
+val injected_denial_count : t -> int
+(** The subset of {!denial_count} caused by fault injection. *)
+
 val reset_counters : t -> unit

@@ -1,0 +1,9 @@
+let () =
+  Alcotest.run "flightrec"
+    [
+      ("ring", Test_ring.suite);
+      ("recorder", Test_recorder.suite);
+      ("report", Test_report.suite);
+      ("zerocost", Test_zerocost.suite);
+      ("faults", Test_faults.suite);
+    ]

@@ -1,0 +1,67 @@
+(* The flight recorder's core contract: recording is host-side only, so
+   an enabled recorder changes NO simulated observable — cycle counts,
+   retired instructions and allocator statistics are bit-identical with
+   the recorder on or off.  We run the same deterministic DLM/OLTP
+   workload twice on fresh machines and compare. *)
+
+let dlm_run ~record =
+  let ncpus = 2 in
+  let fr =
+    if record then begin
+      let fr = Flightrec.Recorder.create ~ncpus () in
+      Flightrec.Recorder.install fr;
+      Some fr
+    end
+    else None
+  in
+  Fun.protect
+    ~finally:(fun () -> if record then Flightrec.Recorder.uninstall ())
+    (fun () ->
+      let cfg = Workload.Rig.paper_config ~ncpus () in
+      let m = Sim.Machine.create cfg in
+      let kmem = Kma.Kmem.create m () in
+      let r = Dlm.Oltp.run ~kmem ~ncpus ~transactions_per_cpu:120 () in
+      let per_cpu =
+        List.init ncpus (fun cpu ->
+            (Sim.Machine.cpu_time m ~cpu, Sim.Machine.retired m ~cpu))
+      in
+      let stats = Format.asprintf "%a" Kma.Kstats.pp (Kma.Kmem.stats kmem) in
+      ((r.Dlm.Oltp.transactions, r.Dlm.Oltp.grants, r.Dlm.Oltp.cycles,
+        per_cpu, stats),
+       fr))
+
+let test_cycles_bit_identical () =
+  let bare, _ = dlm_run ~record:false in
+  let recorded, fr = dlm_run ~record:true in
+  Alcotest.(check bool)
+    "cycle counts, retired instructions and stats identical" true
+    (bare = recorded);
+  (* ... and the recorder did actually see the run. *)
+  let fr = Option.get fr in
+  Alcotest.(check bool) "events were recorded" true
+    (Flightrec.Recorder.total fr > 1000)
+
+let test_report_renders_on_real_run () =
+  let _, fr = dlm_run ~record:true in
+  let s = Flightrec.Report.to_string (Option.get fr) in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun section ->
+      Alcotest.(check bool) section true (contains section))
+    [
+      "-- lock contention --"; "gbl["; "vmblk";
+      "-- per-layer miss timeline"; "-- page lifetimes --";
+      "-- vm system --";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "recorder charges zero simulated cycles" `Quick
+      test_cycles_bit_identical;
+    Alcotest.test_case "report renders on a real DLM run" `Quick
+      test_report_renders_on_real_run;
+  ]

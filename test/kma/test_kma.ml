@@ -11,4 +11,5 @@ let () =
       ("kmem", Test_kmem.suite);
       ("debug", Test_debug.suite);
       ("objcache", Test_objcache.suite);
+      ("kstats", Test_kstats.suite);
     ]

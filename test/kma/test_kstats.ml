@@ -1,0 +1,67 @@
+(* Derived-rate arithmetic on the host-side counters: nan on empty
+   denominators, reset semantics, and the combined rate measuring how
+   deep allocation traffic actually reached. *)
+
+let check_nan name v = Alcotest.(check bool) name true (Float.is_nan v)
+
+let check_rate name expect v =
+  Alcotest.(check (float 1e-9)) name expect v
+
+let test_nan_on_zero_denominators () =
+  let t = Kma.Kstats.create ~nsizes:2 in
+  check_nan "percpu alloc rate" (Kma.Kstats.percpu_alloc_miss_rate t ~si:0);
+  check_nan "percpu free rate" (Kma.Kstats.percpu_free_miss_rate t ~si:0);
+  check_nan "global alloc rate" (Kma.Kstats.global_alloc_miss_rate t ~si:1);
+  check_nan "global free rate" (Kma.Kstats.global_free_miss_rate t ~si:1);
+  check_nan "combined alloc rate" (Kma.Kstats.combined_alloc_miss_rate t ~si:0);
+  check_nan "combined free rate" (Kma.Kstats.combined_free_miss_rate t ~si:0);
+  (* Misses without traffic in the denominator still yield nan, not inf. *)
+  let s = Kma.Kstats.size t 0 in
+  s.Kma.Kstats.gbl_get_misses <- 3;
+  check_nan "miss count alone is not a rate"
+    (Kma.Kstats.global_alloc_miss_rate t ~si:0)
+
+let test_rates () =
+  let t = Kma.Kstats.create ~nsizes:3 in
+  let s = Kma.Kstats.size t 1 in
+  s.Kma.Kstats.allocs <- 100;
+  s.Kma.Kstats.alloc_misses <- 10;
+  s.Kma.Kstats.gbl_gets <- 10;
+  s.Kma.Kstats.gbl_get_misses <- 2;
+  s.Kma.Kstats.frees <- 50;
+  s.Kma.Kstats.free_misses <- 5;
+  s.Kma.Kstats.gbl_puts <- 5;
+  s.Kma.Kstats.gbl_put_misses <- 1;
+  check_rate "percpu alloc" 0.1 (Kma.Kstats.percpu_alloc_miss_rate t ~si:1);
+  check_rate "global alloc" 0.2 (Kma.Kstats.global_alloc_miss_rate t ~si:1);
+  (* Combined rate = global-layer refills per per-CPU allocation; with
+     these counters it equals the product of the two layer rates
+     (0.1 * 0.2), the composition the paper's E6 analysis relies on. *)
+  check_rate "combined alloc" 0.02 (Kma.Kstats.combined_alloc_miss_rate t ~si:1);
+  check_rate "percpu free" 0.1 (Kma.Kstats.percpu_free_miss_rate t ~si:1);
+  check_rate "global free" 0.2 (Kma.Kstats.global_free_miss_rate t ~si:1);
+  check_rate "combined free" 0.02 (Kma.Kstats.combined_free_miss_rate t ~si:1);
+  (* Other size classes are untouched. *)
+  check_nan "si 0 untouched" (Kma.Kstats.percpu_alloc_miss_rate t ~si:0)
+
+let test_reset () =
+  let t = Kma.Kstats.create ~nsizes:2 in
+  let s = Kma.Kstats.size t 0 in
+  s.Kma.Kstats.allocs <- 7;
+  s.Kma.Kstats.alloc_misses <- 7;
+  t.Kma.Kstats.large_allocs <- 4;
+  t.Kma.Kstats.large_frees <- 4;
+  check_rate "before reset" 1.0 (Kma.Kstats.percpu_alloc_miss_rate t ~si:0);
+  Kma.Kstats.reset t;
+  Alcotest.(check int) "allocs zeroed" 0 (Kma.Kstats.size t 0).Kma.Kstats.allocs;
+  Alcotest.(check int) "large allocs zeroed" 0 t.Kma.Kstats.large_allocs;
+  Alcotest.(check int) "large frees zeroed" 0 t.Kma.Kstats.large_frees;
+  check_nan "rates back to nan" (Kma.Kstats.percpu_alloc_miss_rate t ~si:0)
+
+let suite =
+  [
+    Alcotest.test_case "nan on zero denominators" `Quick
+      test_nan_on_zero_denominators;
+    Alcotest.test_case "layer and combined rates" `Quick test_rates;
+    Alcotest.test_case "reset" `Quick test_reset;
+  ]

@@ -246,6 +246,59 @@ let test_vmsys_accounting () =
   (* 4 grant attempts (one failed, still charged) + 1 reclaim *)
   Alcotest.(check int) "cycles charged" 450 (Machine.cpu_time m ~cpu:0)
 
+let test_vmsys_fault_injection () =
+  let m = machine () in
+  let vm = Vmsys.create ~total_pages:100 ~grant_cost:10 ~reclaim_cost:5 in
+  Alcotest.(check (float 0.)) "no faults by default" 0. (Vmsys.fault_rate vm);
+  (* rate 1.0: every grant denied, all denials flagged as injected, and
+     nothing is actually handed out. *)
+  Vmsys.set_fault_rate vm ~seed:11 1.0;
+  Machine.run m
+    [|
+      (fun _ ->
+        for _ = 1 to 5 do
+          Alcotest.(check bool) "denied" false (Vmsys.grant vm)
+        done);
+    |];
+  Alcotest.(check int) "denials counted" 5 (Vmsys.denial_count vm);
+  Alcotest.(check int) "all injected" 5 (Vmsys.injected_denial_count vm);
+  Alcotest.(check int) "nothing granted" 0 (Vmsys.granted vm);
+  (* Failed grants are still charged: the caller paid for the trip. *)
+  Alcotest.(check int) "grant cost charged" 50 (Machine.cpu_time m ~cpu:0);
+  (* rate 0.0 turns the faults back off on the same instance. *)
+  Vmsys.set_fault_rate vm 0.0;
+  Machine.run m [| (fun _ -> Alcotest.(check bool) "granted" true (Vmsys.grant vm)) |];
+  Alcotest.(check int) "injected count unchanged" 5
+    (Vmsys.injected_denial_count vm);
+  (* Same seed and rate => identical draw sequence. *)
+  let denials seed =
+    let m = machine () in
+    let vm = Vmsys.create ~total_pages:100 ~grant_cost:0 ~reclaim_cost:0 in
+    Vmsys.set_fault_rate vm ~seed 0.5;
+    let outcomes = ref [] in
+    Machine.run m
+      [|
+        (fun _ ->
+          for _ = 1 to 64 do
+            outcomes := Vmsys.grant vm :: !outcomes
+          done);
+      |];
+    !outcomes
+  in
+  Alcotest.(check (list bool)) "deterministic" (denials 42) (denials 42);
+  Alcotest.(check bool) "seed changes the sequence" true
+    (denials 42 <> denials 43);
+  (* Exhaustion denials are counted but not flagged as injected. *)
+  let vm2 = Vmsys.create ~total_pages:1 ~grant_cost:0 ~reclaim_cost:0 in
+  let m2 = machine () in
+  Machine.run m2
+    [| (fun _ -> ignore (Vmsys.grant vm2); ignore (Vmsys.grant vm2)) |];
+  Alcotest.(check int) "exhaustion denial" 1 (Vmsys.denial_count vm2);
+  Alcotest.(check int) "not injected" 0 (Vmsys.injected_denial_count vm2);
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Sim.Vmsys.set_fault_rate: rate outside [0,1]")
+    (fun () -> Vmsys.set_fault_rate vm2 (-0.1))
+
 (* Property: under the spinlock, any mix of add amounts from any number
    of CPUs sums exactly. *)
 let prop_locked_counter_exact =
@@ -306,6 +359,8 @@ let suite =
     Alcotest.test_case "bus model serialises misses" `Quick
       test_bus_model_serialises_misses;
     Alcotest.test_case "vmsys accounting" `Quick test_vmsys_accounting;
+    Alcotest.test_case "vmsys fault injection" `Quick
+      test_vmsys_fault_injection;
     QCheck_alcotest.to_alcotest prop_locked_counter_exact;
     QCheck_alcotest.to_alcotest prop_time_monotone;
   ]
