@@ -113,6 +113,16 @@ let bench_missrates () =
           Printf.printf "all rates within analytic bounds: %b\n"
             (Experiments.Missrates.within_bounds r)))
 
+(* --- E8: memory pressure --- *)
+
+let bench_pressure () =
+  wall (fun () ->
+      with_flightrec ~ncpus:4 (fun () ->
+          let r = Experiments.Pressure.run () in
+          Experiments.Pressure.print r;
+          Printf.printf "\ngraceful degradation at 20%% denials: %b\n"
+            (Experiments.Pressure.graceful r)))
+
 (* --- Smoke: a tiny recorded DLM run for dune's @runtest-smoke --- *)
 
 let bench_smoke () =
@@ -436,6 +446,7 @@ let sections =
     ("roads-not-taken", bench_roads_not_taken);
     ("bechamel", bechamel_suite);
     ("pool-domains", bench_pool_domains);
+    ("pressure", bench_pressure);
     ("smoke", bench_smoke);
   ]
 

@@ -3,13 +3,81 @@
 
 open Cmdliner
 
-let ints_conv = Arg.(list int)
+(* Validated argument converters: an out-of-range CPU count or fault
+   rate becomes a clear usage error (non-zero exit) at parse time
+   instead of an exception escaping from the simulator. *)
+let cpus_range = (1, 64) (* Sim.Config's accepted range *)
+
+let check_cpus n =
+  let lo, hi = cpus_range in
+  if n >= lo && n <= hi then Ok n
+  else
+    Error
+      (`Msg (Printf.sprintf "CPU count %d out of range [%d, %d]" n lo hi))
+
+let cpus_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n -> check_cpus n
+    | None -> Error (`Msg (Printf.sprintf "invalid CPU count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let cpu_list_conv =
+  let parse s =
+    let rec all = function
+      | [] -> Ok ()
+      | Error e :: _ -> Error e
+      | Ok _ :: rest -> all rest
+    in
+    let parts = String.split_on_char ',' s in
+    let checked =
+      List.map
+        (fun p ->
+          match int_of_string_opt (String.trim p) with
+          | Some n -> check_cpus n
+          | None -> Error (`Msg (Printf.sprintf "invalid CPU count %S" p)))
+        parts
+    in
+    match all checked with
+    | Error e -> Error e
+    | Ok () -> Ok (List.map (function Ok n -> n | Error _ -> assert false) checked)
+  in
+  let print ppf l =
+    Format.pp_print_string ppf (String.concat "," (List.map string_of_int l))
+  in
+  Arg.conv (parse, print)
+
+let check_rate r =
+  if r >= 0. && r <= 1. then Ok r
+  else Error (`Msg (Printf.sprintf "fault rate %g out of range [0, 1]" r))
+
+let rate_list_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match float_of_string_opt (String.trim p) with
+          | Some r -> (
+              match check_rate r with
+              | Ok r -> go (r :: acc) rest
+              | Error e -> Error e)
+          | None -> Error (`Msg (Printf.sprintf "invalid fault rate %S" p)))
+    in
+    go [] parts
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (Printf.sprintf "%g") l))
+  in
+  Arg.conv (parse, print)
 
 let fig7_cmd =
   let cpus =
     Arg.(
       value
-      & opt ints_conv Experiments.Fig7.default_cpus
+      & opt cpu_list_conv Experiments.Fig7.default_cpus
       & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
   in
   let iters =
@@ -55,7 +123,7 @@ let fig8_cmd =
   let cpus =
     Arg.(
       value
-      & opt ints_conv Experiments.Fig7.default_cpus
+      & opt cpu_list_conv Experiments.Fig7.default_cpus
       & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
   in
   let iters = Arg.(value & opt int 2000 & info [ "iters" ] ~doc:"Pairs/CPU.") in
@@ -163,7 +231,7 @@ let with_flightrec ~enabled ~ncpus f =
   end
 
 let missrates_cmd =
-  let ncpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"CPUs.") in
+  let ncpus = Arg.(value & opt cpus_conv 4 & info [ "cpus" ] ~doc:"CPUs.") in
   let txs =
     Arg.(
       value & opt int 3000
@@ -184,6 +252,50 @@ let missrates_cmd =
          "Per-layer miss rates under the DLM/OLTP workload (E6); \
           $(b,--flight-recorder) adds the time-resolved trace report.")
     Term.(const run $ ncpus $ txs $ flightrec_flag)
+
+let pressure_cmd =
+  let ncpus = Arg.(value & opt cpus_conv 4 & info [ "cpus" ] ~doc:"CPUs.") in
+  let rounds =
+    Arg.(
+      value & opt int 30
+      & info [ "rounds" ] ~doc:"Alloc/free rounds per CPU.")
+  in
+  let batch =
+    Arg.(value & opt int 120 & info [ "batch" ] ~doc:"Blocks per round.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt rate_list_conv Experiments.Pressure.default_rates
+      & info [ "rates" ] ~docv:"R,R,..."
+          ~doc:"Grant-denial rates to sweep, each in [0, 1].")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-injection seed.")
+  in
+  let run ncpus rounds batch rates seed flightrec =
+    with_flightrec ~enabled:flightrec ~ncpus (fun () ->
+        let r = Experiments.Pressure.run ~ncpus ~rounds ~batch ~rates ~seed () in
+        Experiments.Pressure.print r;
+        let has x = List.exists (Float.equal x) rates in
+        if has 0.0 && has 0.2 then begin
+          print_newline ();
+          if Experiments.Pressure.graceful r then
+            print_endline
+              "shape: graceful degradation at 20% denials (>= 50% \
+               throughput, zero failures, reap returns pages) while mk \
+               fails or hoards"
+          else
+            print_endline
+              "WARNING: the E8 graceful-degradation shape did not hold"
+        end)
+  in
+  Cmd.v
+    (Cmd.info "pressure"
+       ~doc:
+         "Memory pressure: throughput and pages held vs VM grant-denial \
+          rate, cookie/newkma (reap + adaptive targets) vs mk (E8).")
+    Term.(const run $ ncpus $ rounds $ batch $ rates $ seed $ flightrec_flag)
 
 let cyclic_cmd =
   let days = Arg.(value & opt int 3 & info [ "days" ] ~doc:"Day/night cycles.") in
@@ -293,5 +405,5 @@ let () =
        (Cmd.group ~default info
           [
             fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
-            missrates_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd;
+            missrates_cmd; pressure_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd;
           ]))

@@ -119,3 +119,9 @@ let free t ~addr =
       Machine.write head addr)
 
 let free_sized t ~addr ~bytes:_ = free t ~addr
+
+(* Host-side oracle: pages permanently carved out of the arena (mk
+   never returns one). *)
+let pages_carved_oracle t =
+  let mem = Machine.memory t.machine in
+  (Memory.get mem t.cursor - t.arena_base) / page_words

@@ -31,3 +31,8 @@ val free : t -> addr:int -> unit
 
 val free_sized : t -> addr:int -> bytes:int -> unit
 (** {!free} ignoring the redundant size, for the common interface. *)
+
+val pages_carved_oracle : t -> int
+(** Host-side: pages carved out of the arena so far.  mk never returns
+    a page, so this is also its permanent physical footprint (the
+    contrast measured by experiment E8). *)

@@ -27,6 +27,8 @@ type kind =
   | Vm_grant
   | Vm_reclaim
   | Vm_denial of { injected : bool }
+  | Reap of { full : bool }
+  | Target_adjust of { si : int; target : int; gbltarget : int; grow : bool }
 
 type t = { time : int; cpu : int; kind : kind }
 
@@ -37,11 +39,12 @@ let si_of = function
   | Gbl_get { si; _ }
   | Gbl_put { si; _ }
   | Page_grab { si; _ }
-  | Page_return { si; _ } ->
+  | Page_return { si; _ }
+  | Target_adjust { si; _ } ->
       Some si
   | Vmblk_carve _ | Vmblk_coalesce _ | Large_alloc _ | Large_free _
   | Obj_alloc _ | Obj_free _ | Lock_acquire _ | Lock_release _ | Vm_grant
-  | Vm_reclaim | Vm_denial _ ->
+  | Vm_reclaim | Vm_denial _ | Reap _ ->
       None
 
 let kind_name = function
@@ -63,6 +66,8 @@ let kind_name = function
   | Vm_grant -> "vm-grant"
   | Vm_reclaim -> "vm-reclaim"
   | Vm_denial _ -> "vm-denial"
+  | Reap _ -> "reap"
+  | Target_adjust _ -> "target-adjust"
 
 let pp_kind ppf = function
   | Alloc { si; layer } ->
@@ -92,6 +97,10 @@ let pp_kind ppf = function
   | Vm_grant -> Format.pp_print_string ppf "vm-grant"
   | Vm_reclaim -> Format.pp_print_string ppf "vm-reclaim"
   | Vm_denial { injected } -> Format.fprintf ppf "vm-denial injected=%b" injected
+  | Reap { full } -> Format.fprintf ppf "reap full=%b" full
+  | Target_adjust { si; target; gbltarget; grow } ->
+      Format.fprintf ppf "target-adjust si=%d target=%d gbltarget=%d grow=%b"
+        si target gbltarget grow
 
 let pp ppf { time; cpu; kind } =
   Format.fprintf ppf "[%8d] cpu%d %a" time cpu pp_kind kind

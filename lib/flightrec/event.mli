@@ -1,7 +1,12 @@
 (** Typed flight-recorder trace events.
 
     One constructor per instrumented action in the allocator and the
-    simulator.  Events are plain host-side values: recording one never
+    simulator — the vocabulary tracks the source paper's anatomy: the
+    per-CPU cache transitions of its Figure 2, the global-layer and
+    coalesce-layer traffic of its Design section, the lock contention
+    behind its Figures 7–9, and the reap / adaptive-target activity of
+    the [Kma.Pressure] subsystem its Future Directions section
+    proposes.  Events are plain host-side values: recording one never
     touches simulated memory and charges zero simulated cycles.  This
     module deliberately depends on nothing, so both [sim] and [kma] can
     emit events without a dependency cycle. *)
@@ -51,6 +56,14 @@ type kind =
   | Vm_denial of { injected : bool }
       (** VM system refused a grant: pool exhausted, or [injected] by
           the fault-injection hook. *)
+  | Reap of { full : bool }
+      (** A [kmem_reap]-style pressure pass ran on this CPU: aux lists
+          flushed and the global layer trimmed ([full] additionally
+          flushes main lists and empties the global layer). *)
+  | Target_adjust of { si : int; target : int; gbltarget : int; grow : bool }
+      (** The pressure subsystem moved class [si]'s adaptive bounds to
+          [target] / [gbltarget]; [grow] distinguishes additive recovery
+          from multiplicative shrink under denial. *)
 
 type t = {
   time : int;  (** simulated time (cycles) of the emitting CPU *)

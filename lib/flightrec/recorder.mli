@@ -1,5 +1,11 @@
 (** The flight recorder: per-CPU bounded rings of {!Event.t}.
 
+    Observability for the reproduction of the paper's Measurements
+    section: the experiments' cycle counts are the product under test,
+    so recording must cost zero simulated cycles — the same constraint
+    the paper's own lock-metering instrumentation faced on real
+    hardware, solved here by keeping the recorder entirely host-side.
+
     Exactly one recorder can be *installed* at a time; instrumentation
     sites throughout [sim] and [kma] consult the global {!on} flag —
     a single host-side branch — and emit into the installed recorder.

@@ -1,5 +1,12 @@
 (** Render a recorded flight into a human-readable text report.
 
+    The sections mirror the quantities the paper's Measurements section
+    reasons about — lock contention (the serialisation behind Figures 7
+    and 8), per-layer miss rates (the 1/target, 1/gbltarget bounds),
+    page lifetimes (coalesce-to-page effectiveness, Figure 9's
+    worst case) — plus, when pressure events are present, the reap and
+    adaptive-target activity of the Future Directions subsystem.
+
     The report is computed host-side from a {!Recorder.t} snapshot:
 
     - recording coverage (events retained / emitted, per-CPU ring drops);

@@ -1,5 +1,9 @@
 (** Bounded ring buffer that overwrites its oldest entries.
 
+    Pure infrastructure with no counterpart in the source paper: it
+    bounds the memory cost of recording the paper's Measurements-section
+    reproductions, trading history depth for a hard footprint.
+
     The flight recorder keeps one per CPU.  Pushing into a full ring
     evicts the oldest entry and counts it as dropped; the retained
     window is always the newest [capacity] entries, in insertion

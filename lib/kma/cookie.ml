@@ -23,11 +23,11 @@ let size_index c = c.si
 let bytes (kmem : Kmem.t) c = (Ctx.params kmem).Params.sizes_bytes.(c.si)
 
 let try_alloc (kmem : Kmem.t) c =
-  let a = Percpu.alloc kmem ~si:c.si in
+  let a = Kmem.alloc_class kmem ~si:c.si in
   if a = 0 then None else Some a
 
 let alloc (kmem : Kmem.t) c =
-  let a = Percpu.alloc kmem ~si:c.si in
+  let a = Kmem.alloc_class kmem ~si:c.si in
   if a = 0 then raise Kmem.Kmem_exhausted;
   a
 

@@ -1,4 +1,8 @@
-(** Singly-linked freelists threaded through the free blocks themselves.
+(** Singly-linked freelists threaded through the free blocks themselves
+    — the representation the paper's Design section assumes throughout:
+    a free block's own memory holds all allocator metadata, so the
+    per-CPU caches (Figure 2) and the global layer's list-of-lists
+    hand-off move whole lists by exchanging a single head pointer.
 
     Word 0 of every free block is its link to the next free block (0 is
     nil).  When a block heads a *target-sized list* in the global layer's

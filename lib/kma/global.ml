@@ -22,8 +22,19 @@ let boot_init (ctx : Ctx.t) =
     Memory.set mem (f_bucket_cnt ly ~si) 0
   done
 
-let target (ctx : Ctx.t) si = (Ctx.params ctx).Params.targets.(si)
-let gbltarget (ctx : Ctx.t) si = (Ctx.params ctx).Params.gbltargets.(si)
+(* Once pressure is enabled both bounds become the adaptive values
+   (host-side reads either way, like any [Params] read; the global
+   layer has no per-CPU copies to synchronise, and every use is under
+   the per-size spinlock, so any point is a safe point here). *)
+let target (ctx : Ctx.t) si =
+  let pr = ctx.Ctx.pressure in
+  if pr.Ctx.enabled then pr.Ctx.desired_targets.(si)
+  else (Ctx.params ctx).Params.targets.(si)
+
+let gbltarget (ctx : Ctx.t) si =
+  let pr = ctx.Ctx.pressure in
+  if pr.Ctx.enabled then pr.Ctx.desired_gbltargets.(si)
+  else (Ctx.params ctx).Params.gbltargets.(si)
 
 (* --- list-of-lists primitives (lock held) --- *)
 
@@ -154,6 +165,34 @@ let put_partial (ctx : Ctx.t) ~si ~head ~count =
         if Trace.on () then
           Trace.emit (Flightrec.Event.Gbl_put { si; drain = overflow });
         if overflow then drain ctx ~si)
+
+(* Pressure trim: push lists down to the coalesce-to-page layer until
+   at most [keep] remain, then regroup-and-push the bucket the same
+   way.  Unlike [drain_all] this can leave the layer a working reserve;
+   the coalescing layer returns any page that becomes fully free to the
+   VM system on the spot. *)
+let trim (ctx : Ctx.t) ~si ~keep =
+  let ly = ctx.Ctx.layout in
+  Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->
+      let rec lists () =
+        if Machine.read (f_nlists ly ~si) > keep then begin
+          let head, count = pop_list ctx ~si in
+          if head <> 0 then begin
+            Pagepool.put_blocks ctx ~si ~head ~count;
+            lists ()
+          end
+        end
+      in
+      lists ();
+      let tgt = target ctx si in
+      let rec bucket () =
+        let head, count = take_from_bucket ctx ~si ~n:tgt in
+        if head <> 0 then begin
+          Pagepool.put_blocks ctx ~si ~head ~count;
+          bucket ()
+        end
+      in
+      if keep = 0 then bucket ())
 
 let drain_all (ctx : Ctx.t) ~si =
   Sim.Spinlock.with_lock ctx.Ctx.glocks.(si) (fun () ->

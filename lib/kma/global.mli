@@ -1,4 +1,6 @@
-(** Global layer (layer 2).
+(** Global layer (layer 2) — the middle layer of the paper's Design
+    section, whose list-of-lists hand-off gives the 1/target,
+    1/gbltarget miss-rate bounds checked in experiment E6.
 
     One instance per size class, protected by a per-size spinlock.  Its
     only purpose is to let blocks allocated on one CPU and freed on
@@ -35,6 +37,12 @@ val put_list : Ctx.t -> si:int -> head:int -> count:int -> unit
 val put_partial : Ctx.t -> si:int -> head:int -> count:int -> unit
 (** [put_partial ctx ~si ~head ~count] accepts an odd-sized chain onto
     the bucket list and regroups full lists out of it. *)
+
+val trim : Ctx.t -> si:int -> keep:int -> unit
+(** [trim ctx ~si ~keep] pushes lists down to the coalesce-to-page
+    layer until at most [keep] remain (the bucket is emptied too when
+    [keep = 0]), letting fully-free pages return to the VM system — the
+    global-layer half of a {!Pressure} reap pass. *)
 
 val drain_all : Ctx.t -> si:int -> unit
 (** [drain_all ctx ~si] pushes everything the global layer holds down to

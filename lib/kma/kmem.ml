@@ -49,6 +49,8 @@ let create machine ?(params = Params.default) () =
         Array.init nsizes (fun si ->
             Spinlock.init mem (Layout.pagepool_addr layout ~si));
       vlock = Spinlock.init mem layout.Layout.vmctl_base;
+      pressure =
+        Ctx.make_pressure_state ~ncpus:layout.Layout.ncpus ~params;
     }
   in
   Percpu.boot_init ctx;
@@ -84,14 +86,22 @@ let size_index (t : t) ~bytes =
   if bytes <= 0 then invalid_arg "Kma.Kmem.size_index: bytes <= 0";
   if bytes > max_small_bytes t then None else Some (lookup_si t ~bytes)
 
+(* Small and large attempts both go through [Pressure.with_retries]:
+   one host branch when the pressure subsystem is disabled, the
+   bounded reap-and-retry path when enabled. *)
+let alloc_class (t : t) ~si = Pressure.with_retries t (fun () -> Percpu.alloc t ~si)
+
 let alloc_small (t : t) ~bytes =
   Machine.work w_std_alloc;
-  Percpu.alloc t ~si:(lookup_si t ~bytes)
+  alloc_class t ~si:(lookup_si t ~bytes)
+
+let alloc_large (t : t) ~bytes =
+  Pressure.with_retries t (fun () -> Vmblk.alloc_large t ~bytes)
 
 let try_alloc (t : t) ~bytes =
   if bytes <= 0 then invalid_arg "Kma.Kmem.try_alloc: bytes <= 0";
   let a =
-    if bytes > max_small_bytes t then Vmblk.alloc_large t ~bytes
+    if bytes > max_small_bytes t then alloc_large t ~bytes
     else alloc_small t ~bytes
   in
   if a = 0 then None else Some a
@@ -99,7 +109,7 @@ let try_alloc (t : t) ~bytes =
 let alloc (t : t) ~bytes =
   if bytes <= 0 then invalid_arg "Kma.Kmem.alloc: bytes <= 0";
   let a =
-    if bytes > max_small_bytes t then Vmblk.alloc_large t ~bytes
+    if bytes > max_small_bytes t then alloc_large t ~bytes
     else alloc_small t ~bytes
   in
   if a = 0 then raise Kmem_exhausted;

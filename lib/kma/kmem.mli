@@ -37,7 +37,17 @@ val alloc : t -> bytes:int -> int
     @raise Invalid_argument if [bytes <= 0] (host-side check). *)
 
 val try_alloc : t -> bytes:int -> int option
-(** Like {!alloc} but returns [None] on exhaustion. *)
+(** Like {!alloc} but returns [None] on exhaustion.  With the
+    {!Pressure} subsystem enabled, a denied attempt first walks the
+    bounded reap-and-retry path (shrink targets, reap, retry — light
+    reap first, then full) and returns [None] only when the retries
+    are exhausted or provably hopeless. *)
+
+val alloc_class : t -> si:int -> int
+(** [alloc_class t ~si] allocates straight from a resolved size class
+    (the {!Cookie} path), 0 on exhaustion — same {!Pressure} retry
+    semantics as {!try_alloc}, without the standard interface's
+    size-to-class lookup charge. *)
 
 val alloc_zeroed : t -> bytes:int -> int
 (** [kmem_zalloc]: like {!alloc} with the block cleared (the zeroing

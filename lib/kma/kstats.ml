@@ -18,6 +18,12 @@ type t = {
   sizes : per_size array;
   mutable large_allocs : int;
   mutable large_frees : int;
+  mutable reaps : int;
+  mutable reap_pages : int;
+  mutable pressure_retries : int;
+  mutable pressure_failures : int;
+  mutable target_shrinks : int;
+  mutable target_grows : int;
 }
 
 let fresh () =
@@ -38,13 +44,29 @@ let fresh () =
   }
 
 let create ~nsizes =
-  { sizes = Array.init nsizes (fun _ -> fresh ()); large_allocs = 0; large_frees = 0 }
+  {
+    sizes = Array.init nsizes (fun _ -> fresh ());
+    large_allocs = 0;
+    large_frees = 0;
+    reaps = 0;
+    reap_pages = 0;
+    pressure_retries = 0;
+    pressure_failures = 0;
+    target_shrinks = 0;
+    target_grows = 0;
+  }
 
 let size t si = t.sizes.(si)
 
 let reset t =
   t.large_allocs <- 0;
   t.large_frees <- 0;
+  t.reaps <- 0;
+  t.reap_pages <- 0;
+  t.pressure_retries <- 0;
+  t.pressure_failures <- 0;
+  t.target_shrinks <- 0;
+  t.target_grows <- 0;
   Array.iteri (fun i _ -> t.sizes.(i) <- fresh ()) t.sizes
 
 let ratio num den =
@@ -89,4 +111,10 @@ let pp ppf t =
   if t.large_allocs + t.large_frees > 0 then
     Format.fprintf ppf "large: allocs=%d frees=%d@," t.large_allocs
       t.large_frees;
+  if t.reaps + t.pressure_retries + t.pressure_failures > 0 then
+    Format.fprintf ppf
+      "pressure: reaps=%d pages-reclaimed=%d retries=%d failures=%d \
+       shrinks=%d grows=%d@,"
+      t.reaps t.reap_pages t.pressure_retries t.pressure_failures
+      t.target_shrinks t.target_grows;
   Format.fprintf ppf "@]"

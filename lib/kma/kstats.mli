@@ -28,6 +28,17 @@ type t = {
   sizes : per_size array;
   mutable large_allocs : int;
   mutable large_frees : int;
+  mutable reaps : int;  (** pressure-triggered reap passes *)
+  mutable reap_pages : int;
+      (** physical pages returned to the VM system by reap passes *)
+  mutable pressure_retries : int;
+      (** allocations that succeeded only after reap-and-retry *)
+  mutable pressure_failures : int;
+      (** allocations that still failed after the bounded retry loop *)
+  mutable target_shrinks : int;
+      (** per-class multiplicative [target] decreases under denial *)
+  mutable target_grows : int;
+      (** per-class additive [target] recoveries toward the defaults *)
 }
 
 val create : nsizes:int -> t

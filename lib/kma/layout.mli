@@ -1,4 +1,8 @@
-(** Address-space layout of the allocator inside simulated memory.
+(** Address-space layout of the allocator inside simulated memory: the
+    static kernel data structures the paper's Design section names —
+    per-CPU caches (layer 1), per-class global pools (layer 2),
+    coalesce-to-page radix structures (layer 3) and the vmblk arena
+    with its dope vector (layer 4) — packed into one address map.
 
     {v
     +------------------------------------------------------------+

@@ -1,4 +1,7 @@
-(** Coalesce-to-page layer (layer 3).
+(** Coalesce-to-page layer (layer 3) — the paper's Design-section
+    answer to the fragmentation that defeats the mk baseline in its
+    Figure 9 worst case: pages coalesce back to fully-free the moment
+    their last block returns, so memory moves between size classes.
 
     Gathers blocks of a given size class back into pages.  Every split
     page's descriptor carries a freelist of its free blocks and a count;

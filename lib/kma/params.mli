@@ -1,4 +1,7 @@
-(** Tunable parameters of the allocator.
+(** Tunable parameters of the allocator — the knobs named in the
+    paper's Design section ([target], [gbltarget], sizes, page/vmblk
+    geometry) plus the dynamic-[target] pressure policy proposed in its
+    Future Directions section (realised by {!Pressure}).
 
     Terminology follows the paper: [target] bounds each half of a per-CPU
     cache's split freelist (so a per-CPU cache holds at most [2 * target]
@@ -14,6 +17,29 @@ type page_policy =
       (** the paper's radix-sorted order: carve from the page with the
           fewest free blocks, letting nearly-empty pages drain *)
   | Emptiest_first  (** ablation: carve from the emptiest page *)
+
+(** Memory-pressure policy (see {!Pressure}): how the adaptive layer
+    shrinks and regrows [target] / [gbltarget], and how hard the
+    allocator tries before reporting exhaustion. *)
+type pressure = {
+  min_target : int;
+      (** floor for adaptively shrunk targets (>= 1, so layer 1 keeps
+          its split freelist even under the worst pressure) *)
+  shrink_shift : int;
+      (** multiplicative decrease: a denial halves targets
+          [shrink_shift] times (right shift) *)
+  grow_step : int;  (** additive increase per recovery step *)
+  grow_grants : int;
+      (** denial-free VM grants required before one recovery step *)
+  grow_allocs : int;
+      (** denial-free successful allocations that also buy one recovery
+          step — the fallback clock for when the recovered workload is
+          served entirely from the allocator's caches and stops needing
+          VM grants at all *)
+  max_retries : int;
+      (** bound on the reap-and-retry loop in [Kmem.try_alloc] before
+          the allocation degrades to [None] *)
+}
 
 type t = {
   sizes_bytes : int array;
@@ -33,6 +59,9 @@ type t = {
       (** debug kernel: poison freed blocks and verify the poison on
           reallocation, catching use-after-free writes and double frees
           (at a realistic cycle cost, like a DEBUG kernel build) *)
+  pressure : pressure;
+      (** memory-pressure policy; only consulted once
+          [Pressure.enable] has been called on the booted allocator *)
 }
 
 val bytes_per_word : int
@@ -62,6 +91,11 @@ val default_target : bytes:int -> int
 
 val default_gbltarget : target:int -> int
 
+val default_pressure : pressure
+(** Halve targets on each denial (floor 1), regrow by 1 after every 4
+    denial-free grants, and retry a denied allocation at most 8 times
+    (each retry preceded by a reap). *)
+
 val make :
   ?sizes_bytes:int array ->
   ?page_bytes:int ->
@@ -73,6 +107,7 @@ val make :
   ?vm_reclaim_cost:int ->
   ?page_policy:page_policy ->
   ?debug:bool ->
+  ?pressure:pressure ->
   unit ->
   t
 (** [make ()] is {!default} with overrides; omitted [targets] /

@@ -31,11 +31,37 @@ let boot_init (ctx : Ctx.t) =
     done
   done
 
+(* Propagate an adaptively changed [target] into this CPU's cache
+   word.  Called only from the slow paths, with interrupts disabled, by
+   the owning CPU — the safe points at which the pressure subsystem may
+   change layer-1 bounds, so layer 1 stays lock-free and the warm fast
+   paths keep their calibrated instruction counts.  The host-side
+   shadow makes the check free when nothing changed, and the whole
+   thing is a single host branch while pressure is disabled. *)
+let sync_target (ctx : Ctx.t) ~cpu ~si pcc =
+  let pr = ctx.Ctx.pressure in
+  if pr.Ctx.enabled then begin
+    let idx = (cpu * ctx.Ctx.layout.Layout.nsizes) + si in
+    let want = pr.Ctx.desired_targets.(si) in
+    if pr.Ctx.pcc_targets.(idx) <> want then begin
+      pr.Ctx.pcc_targets.(idx) <- want;
+      Machine.write (pcc + o_target) want
+    end
+  end
+
+(* The target the current CPU's cache is operating under: the adaptive
+   value once pressure is enabled, the boot-time constant otherwise
+   (host-side either way, like any [Params] read). *)
+let live_target (ctx : Ctx.t) ~si =
+  let pr = ctx.Ctx.pressure in
+  if pr.Ctx.enabled then pr.Ctx.desired_targets.(si)
+  else ctx.Ctx.layout.Layout.params.Params.targets.(si)
+
 (* Interrupts are disabled throughout; returns 0 on exhaustion.  The
    second component is the layer of satisfaction for the flight
    recorder: [Percpu] when the block came off main or aux (still
    CPU-local), [Global] when a list transfer was needed. *)
-let rec alloc_disabled (ctx : Ctx.t) st ~si pcc =
+let rec alloc_disabled (ctx : Ctx.t) st ~cpu ~si pcc =
   let h = Machine.read (pcc + o_main_head) in
   if h <> 0 then begin
     Machine.write (pcc + o_main_head) (Machine.read (h + Freelist.link));
@@ -45,6 +71,7 @@ let rec alloc_disabled (ctx : Ctx.t) st ~si pcc =
   end
   else begin
     Machine.work w_slow_branch;
+    sync_target ctx ~cpu ~si pcc;
     let ah = Machine.read (pcc + o_aux_head) in
     if ah <> 0 then begin
       (* Slide aux into main; still purely CPU-local. *)
@@ -53,7 +80,7 @@ let rec alloc_disabled (ctx : Ctx.t) st ~si pcc =
       Machine.write (pcc + o_main_cnt) (Machine.read (pcc + o_aux_cnt));
       Machine.write (pcc + o_aux_head) 0;
       Machine.write (pcc + o_aux_cnt) 0;
-      alloc_disabled ctx st ~si pcc
+      alloc_disabled ctx st ~cpu ~si pcc
     end
     else begin
       st.Kstats.alloc_misses <- st.Kstats.alloc_misses + 1;
@@ -113,7 +140,7 @@ let alloc (ctx : Ctx.t) ~si =
   let st = Kstats.size ctx.Ctx.stats si in
   st.Kstats.allocs <- st.Kstats.allocs + 1;
   Machine.irq_disable ();
-  let a, layer = alloc_disabled ctx st ~si pcc in
+  let a, layer = alloc_disabled ctx st ~cpu ~si pcc in
   Machine.irq_enable ();
   if Trace.on () then
     Trace.emit
@@ -142,6 +169,7 @@ let free (ctx : Ctx.t) ~si a =
   end
   else begin
     Machine.work w_slow_branch;
+    sync_target ctx ~cpu ~si pcc;
     let acnt = Machine.read (pcc + o_aux_cnt) in
     if acnt <> 0 then begin
       (* aux holds a full target-sized list: one O(1) hand-off to the
@@ -162,22 +190,36 @@ let free (ctx : Ctx.t) ~si a =
   Machine.irq_enable ();
   if Trace.on () then Trace.emit (Flightrec.Event.Free { si; layer = !layer })
 
+let flush_half (ctx : Ctx.t) ~si ~tgt pcc head_off cnt_off =
+  let h = Machine.read (pcc + head_off) in
+  let c = Machine.read (pcc + cnt_off) in
+  Machine.write (pcc + head_off) 0;
+  Machine.write (pcc + cnt_off) 0;
+  if c = tgt then Global.put_list ctx ~si ~head:h ~count:c
+  else if c > 0 then Global.put_partial ctx ~si ~head:h ~count:c
+
 let drain (ctx : Ctx.t) ~si =
   let cpu = Machine.cpu_id () in
   let ly = ctx.Ctx.layout in
   let pcc = Layout.pcc_addr ly ~cpu ~si in
-  let tgt = ly.Layout.params.Params.targets.(si) in
+  let tgt = live_target ctx ~si in
   Machine.irq_disable ();
-  let flush head_off cnt_off =
-    let h = Machine.read (pcc + head_off) in
-    let c = Machine.read (pcc + cnt_off) in
-    Machine.write (pcc + head_off) 0;
-    Machine.write (pcc + cnt_off) 0;
-    if c = tgt then Global.put_list ctx ~si ~head:h ~count:c
-    else if c > 0 then Global.put_partial ctx ~si ~head:h ~count:c
-  in
-  flush o_main_head o_main_cnt;
-  flush o_aux_head o_aux_cnt;
+  sync_target ctx ~cpu ~si pcc;
+  flush_half ctx ~si ~tgt pcc o_main_head o_main_cnt;
+  flush_half ctx ~si ~tgt pcc o_aux_head o_aux_cnt;
+  Machine.irq_enable ()
+
+(* Light reap: hand only the reserve ([aux]) list back, keeping the hot
+   [main] list so the CPU's fast path stays warm through a pressure
+   pass. *)
+let drain_aux (ctx : Ctx.t) ~si =
+  let cpu = Machine.cpu_id () in
+  let ly = ctx.Ctx.layout in
+  let pcc = Layout.pcc_addr ly ~cpu ~si in
+  let tgt = live_target ctx ~si in
+  Machine.irq_disable ();
+  sync_target ctx ~cpu ~si pcc;
+  flush_half ctx ~si ~tgt pcc o_aux_head o_aux_cnt;
   Machine.irq_enable ()
 
 let cached_blocks_oracle (ctx : Ctx.t) ~cpu ~si =

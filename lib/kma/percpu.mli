@@ -1,4 +1,6 @@
-(** Per-CPU caching layer (layer 1) — the paper's fast path.
+(** Per-CPU caching layer (layer 1) — the paper's fast path, whose
+    split-freelist state machine is the paper's Figure 2 (walked
+    through, state by state, in [test/kma/test_percpu.ml]).
 
     One cache per (CPU, size class), holding a split freelist: blocks are
     allocated from and freed to [main]; [aux] holds a full target-sized
@@ -48,6 +50,11 @@ val drain : Ctx.t -> si:int -> unit
 (** [drain ctx ~si] flushes the current CPU's cache for [si] back to the
     global layer (administrative operation: CPU offline, low-memory
     shakeout, or the cyclic workload's phase change). *)
+
+val drain_aux : Ctx.t -> si:int -> unit
+(** [drain_aux ctx ~si] flushes only the reserve ([aux]) list, keeping
+    the hot [main] list — the light half of a [kmem_reap] pass (see
+    {!Pressure}). *)
 
 (** {1 Host-side oracles} *)
 

@@ -1,7 +1,10 @@
 let on = Flightrec.Recorder.on
 
+(* Emits must not perform simulator operations: even a free operation is
+   a yield point that changes how same-instant host code interleaves
+   across CPUs (see [Sim.Machine.running]).  The host-side accessor
+   keeps recorder-on runs bit-identical to recorder-off runs. *)
 let emit kind =
-  Flightrec.Recorder.emit
-    ~cpu:(Sim.Machine.cpu_id ())
-    ~time:(Sim.Machine.now ())
-    kind
+  match Sim.Machine.running () with
+  | Some (cpu, time) -> Flightrec.Recorder.emit ~cpu ~time kind
+  | None -> ()

@@ -1,5 +1,10 @@
 (** Flight-recorder emission helper shared by the allocator layers.
 
+    Not part of the paper's design: this is the reproduction's
+    observability seam, and it must not perturb what it observes — the
+    cycle counts of the paper's Measurements section (experiments
+    E1–E8) are bit-identical with tracing on or off.
+
     Wraps {!Flightrec.Recorder.emit} with the current simulated CPU and
     clock ({!Sim.Machine.cpu_id} / {!Sim.Machine.now} are free of
     charge), so an instrumentation site is

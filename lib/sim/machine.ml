@@ -81,6 +81,28 @@ let reset_clocks t =
 
 let irq_disabled t ~cpu = t.cpus.(cpu).irq_off
 
+(* The CPU whose program (host code between two operations) is executing
+   right now, if any.  Maintained by the scheduler around every
+   continuation resume so that host-side observers — the flight
+   recorder above all — can learn the current CPU and its clock WITHOUT
+   performing a (zero-cost but scheduler-visible) operation.  An extra
+   operation is an extra yield point: it splits the host code around it
+   into separately scheduled slices, letting same-instant host code on
+   other CPUs interleave where it otherwise could not.  That never
+   perturbs the simulated memory order, but host-side state shared
+   between programs (allocator adaptation state, fault PRNGs) would see
+   a different interleaving — observable as recorder-on runs diverging
+   from recorder-off runs. *)
+let executing : cpu option ref = ref None
+
+let with_executing c f =
+  let saved = !executing in
+  executing := Some c;
+  Fun.protect ~finally:(fun () -> executing := saved) f
+
+let running () =
+  match !executing with Some c -> Some (c.id, c.time) | None -> None
+
 (* Typed operation fronts.  All operations funnel through a single
    int-valued effect so the scheduler needs no existential plumbing. *)
 let perform_op o =
@@ -182,7 +204,7 @@ let step t (c : cpu) =
       c.time <- c.time + cost;
       c.nretired <- c.nretired + insns;
       c.state <- Idle;
-      (match Effect.Deep.continue k result with
+      (match with_executing c (fun () -> Effect.Deep.continue k result) with
       | Done -> ()
       | Next (o', k') -> c.state <- Pending (o', k'))
 
@@ -197,7 +219,7 @@ let run ?(max_cycles = 0) t progs =
   let live = ref 0 in
   for i = 0 to n - 1 do
     let c = t.cpus.(i) in
-    match reify (fun () -> progs.(i) i) with
+    match with_executing c (fun () -> reify (fun () -> progs.(i) i)) with
     | Done -> ()
     | Next (o, k) ->
         c.state <- Pending (o, k);

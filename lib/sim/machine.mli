@@ -119,3 +119,16 @@ val irq_enable : unit -> unit
 
 val irq_disabled : t -> cpu:int -> bool
 (** [irq_disabled t ~cpu] is a test oracle for the interrupt flag. *)
+
+(** {1 Host-side observation} *)
+
+val running : unit -> (int * int) option
+(** [running ()] is [Some (cpu, now)] while a simulated program's host
+    code is executing — the id and current virtual clock of that CPU —
+    and [None] outside any simulation.  Unlike {!cpu_id} and {!now}
+    this is NOT an operation: it performs no effect and so introduces no
+    scheduler yield point.  Instrumentation that must not perturb the
+    simulation (the flight recorder's emit paths) uses this; an
+    operation, even a free one, splits the host code around it into
+    separately scheduled slices and changes how same-instant host code
+    on different CPUs interleaves. *)

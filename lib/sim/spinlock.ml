@@ -21,6 +21,15 @@ let try_acquire t =
    instant, so spinning directly on it (with {!Machine.spin_pause}'s
    deterministic jitter de-phasing the loop) guarantees progress and
    honestly charges the bus traffic that made these locks expensive. *)
+(* Emits use the host-side [Machine.running] accessor, not the
+   [cpu_id]/[now] operations: an operation — even a free one — is a
+   scheduler yield point, and the recorder must not add any. *)
+let emit kind =
+  if Flightrec.Recorder.on () then
+    match Machine.running () with
+    | Some (cpu, time) -> Flightrec.Recorder.emit ~cpu ~time kind
+    | None -> ()
+
 let acquire t =
   let rec attempt spins =
     if not (try_acquire t) then begin
@@ -30,16 +39,12 @@ let acquire t =
     else spins
   in
   let spins = attempt 0 in
-  if Flightrec.Recorder.on () then
-    Flightrec.Recorder.emit ~cpu:(Machine.cpu_id ()) ~time:(Machine.now ())
-      (Flightrec.Event.Lock_acquire { lock = t.a; spins })
+  emit (Flightrec.Event.Lock_acquire { lock = t.a; spins })
 
 let release t =
   assert (Machine.read t.a = locked_value);
   Machine.write t.a unlocked_value;
-  if Flightrec.Recorder.on () then
-    Flightrec.Recorder.emit ~cpu:(Machine.cpu_id ()) ~time:(Machine.now ())
-      (Flightrec.Event.Lock_release { lock = t.a })
+  emit (Flightrec.Event.Lock_release { lock = t.a })
 
 let with_lock t f =
   acquire t;

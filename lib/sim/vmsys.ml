@@ -54,10 +54,13 @@ let set_fault_rate t ?(seed = 1) rate =
 
 let fault_rate t = float_of_int t.fault_threshold /. 65536.
 
+(* Host-side [Machine.running], not the [cpu_id]/[now] operations: the
+   recorder must add no yield points (see [Sim.Machine.running]). *)
 let emit kind =
   if Flightrec.Recorder.on () then
-    Flightrec.Recorder.emit ~cpu:(Machine.cpu_id ()) ~time:(Machine.now ())
-      kind
+    match Machine.running () with
+    | Some (cpu, time) -> Flightrec.Recorder.emit ~cpu ~time kind
+    | None -> ()
 
 let grant t =
   Machine.work t.grant_cost;

@@ -41,6 +41,57 @@ let test_cycles_bit_identical () =
   Alcotest.(check bool) "events were recorded" true
     (Flightrec.Recorder.total fr > 1000)
 
+(* The hardest case for the contract: injected grant denials with the
+   pressure subsystem enabled.  Emits then fire in the middle of host
+   code that reads and writes state shared across simulated CPUs
+   (adaptation bounds, the fault PRNG), where even a free simulator
+   operation — an extra yield point — reorders the interleaving of
+   same-instant host code and changes the outcome.  This is exactly the
+   divergence [Sim.Machine.running] exists to prevent. *)
+let pressured_run ~record =
+  let ncpus = 4 in
+  if record then
+    Flightrec.Recorder.install (Flightrec.Recorder.create ~ncpus ());
+  Fun.protect
+    ~finally:(fun () -> if record then Flightrec.Recorder.uninstall ())
+    (fun () ->
+      let cfg = Workload.Rig.paper_config ~ncpus () in
+      let m = Sim.Machine.create cfg in
+      let params =
+        Kma.Params.auto ~memory_words:cfg.Sim.Config.memory_words
+      in
+      let kmem = Kma.Kmem.create m ~params () in
+      Kma.Pressure.enable kmem;
+      let vmsys = Kma.Kmem.vmsys kmem in
+      Sim.Vmsys.set_fault_rate vmsys ~seed:42 0.05;
+      let sizes = [| 64; 256; 1024 |] in
+      let batch = 120 in
+      let slots = Array.init ncpus (fun _ -> Array.make batch 0) in
+      Sim.Machine.run_symmetric m ~ncpus (fun cpu ->
+          let mine = slots.(cpu) in
+          for _ = 1 to 10 do
+            for i = 0 to batch - 1 do
+              mine.(i) <-
+                (match Kma.Kmem.try_alloc kmem ~bytes:sizes.(i mod 3) with
+                | Some a -> a
+                | None -> 0)
+            done;
+            for i = batch - 1 downto 0 do
+              if mine.(i) <> 0 then
+                Kma.Kmem.free kmem ~addr:mine.(i) ~bytes:sizes.(i mod 3)
+            done
+          done);
+      ( Sim.Machine.elapsed m,
+        Sim.Vmsys.grant_count vmsys,
+        Sim.Vmsys.denial_count vmsys,
+        Sim.Vmsys.reclaim_count vmsys,
+        Format.asprintf "%a" Kma.Kstats.pp (Kma.Kmem.stats kmem) ))
+
+let test_pressure_faults_bit_identical () =
+  Alcotest.(check bool)
+    "pressure + fault injection identical with recorder on" true
+    (pressured_run ~record:false = pressured_run ~record:true)
+
 let test_report_renders_on_real_run () =
   let _, fr = dlm_run ~record:true in
   let s = Flightrec.Report.to_string (Option.get fr) in
@@ -62,6 +113,8 @@ let suite =
   [
     Alcotest.test_case "recorder charges zero simulated cycles" `Quick
       test_cycles_bit_identical;
+    Alcotest.test_case "bit-identical under pressure + fault injection"
+      `Quick test_pressure_faults_bit_identical;
     Alcotest.test_case "report renders on a real DLM run" `Quick
       test_report_renders_on_real_run;
   ]

@@ -12,4 +12,5 @@ let () =
       ("debug", Test_debug.suite);
       ("objcache", Test_objcache.suite);
       ("kstats", Test_kstats.suite);
+      ("pressure", Test_pressure.suite);
     ]

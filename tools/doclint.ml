@@ -1,0 +1,139 @@
+(* doclint — the documentation gate for the library interfaces.
+
+   odoc is not part of this build environment, so [dune build @doc] is
+   a silent no-op; this linter enforces the documentation contract the
+   doc build would otherwise catch, plus one contract it would not:
+
+   1. every .mli begins with a module-level (** ... *) comment;
+   2. that comment says where the module stands relative to the source
+      paper (a named section, a figure, or an explicit "not part of
+      the paper" disclaimer);
+   3. every doc comment in the file has balanced odoc markup braces
+      (the classic silently-broken markup: an unclosed {v, {[ or {!).
+
+   Exits non-zero naming every violation, so the @docs alias (run as
+   part of dune runtest) fails the build. *)
+
+let errors = ref 0
+
+let fail file msg =
+  incr errors;
+  Printf.eprintf "doclint: %s: %s\n" file msg
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl > 0 && go 0
+
+(* The ways a module is allowed to situate itself: a reference into the
+   paper (named section or figure — the repo's idiom never invents
+   numbered sections), or an explicit statement that it is
+   reproduction infrastructure with no paper counterpart. *)
+let paper_markers =
+  [
+    "paper";
+    "Figure 2";
+    "Figure 7";
+    "Figure 8";
+    "Figure 9";
+    "Design section";
+    "Measurements";
+    "Future Directions";
+  ]
+
+(* First (** ... *) comment starting at [i]; returns (body, end_pos)
+   honouring OCaml's nested comments. *)
+let parse_comment src i =
+  let n = String.length src in
+  let buf = Buffer.create 256 in
+  let rec go i depth =
+    if i >= n then None
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      Buffer.add_string buf "(*";
+      go (i + 2) (depth + 1)
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then
+      if depth = 0 then Some (Buffer.contents buf, i + 2)
+      else begin
+        Buffer.add_string buf "*)";
+        go (i + 2) (depth - 1)
+      end
+    else begin
+      Buffer.add_char buf src.[i];
+      go (i + 1) depth
+    end
+  in
+  go i 0
+
+let rec skip_ws src i =
+  if i < String.length src && (src.[i] = ' ' || src.[i] = '\n' || src.[i] = '\t')
+  then skip_ws src (i + 1)
+  else i
+
+let check_module_doc file src =
+  let i = skip_ws src 0 in
+  if
+    i + 3 > String.length src
+    || String.sub src i 3 <> "(**"
+    || (i + 3 < String.length src && src.[i + 3] = '*')
+  then
+    fail file "must start with a module-level (** ... *) doc comment"
+  else
+    match parse_comment src (i + 3) with
+    | None -> fail file "unterminated module doc comment"
+    | Some (body, _) ->
+        if not (List.exists (contains body) paper_markers) then
+          fail file
+            "module doc comment must state which paper section or figure \
+             the module reproduces (or that it has no paper counterpart)"
+
+(* Walk every doc comment and check its markup braces pair up.  Odoc
+   markup is brace-delimited ({v ... v}, {[ ... ]}, {!ref}, {1 head});
+   an unbalanced brace is exactly the corruption a missing doc build
+   would let through. *)
+let check_markup file src =
+  let n = String.length src in
+  let rec scan i =
+    if i + 2 < n && src.[i] = '(' && src.[i + 1] = '*' && src.[i + 2] = '*'
+    then
+      match parse_comment src (i + 3) with
+      | None -> fail file "unterminated doc comment"
+      | Some (body, j) ->
+          let depth = ref 0 and bad = ref false in
+          String.iter
+            (fun c ->
+              if c = '{' then incr depth
+              else if c = '}' then begin
+                decr depth;
+                if !depth < 0 then bad := true
+              end)
+            body;
+          if !bad || !depth <> 0 then
+            fail file
+              (Printf.sprintf "unbalanced odoc markup braces in \"%s...\""
+                 (String.sub body 0 (min 40 (String.length body))));
+          scan j
+    else if i < n then scan (i + 1)
+  in
+  scan 0
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "doclint: no files given";
+    exit 2
+  end;
+  List.iter
+    (fun f ->
+      let src = read_file f in
+      check_module_doc f src;
+      check_markup f src)
+    files;
+  if !errors > 0 then exit 1
