@@ -18,11 +18,32 @@ let wall f =
     (Unix.gettimeofday () -. t0);
   r
 
+(* Set by the --lockcheck command-line flag: sections that exercise the
+   allocators validate the synchronization discipline (lock order, irq
+   discipline, locks across VM calls) and print the lockcheck report.
+   Host-side, zero simulated-cycle cost, like the flight recorder. *)
+let lockcheck_enabled = ref false
+
+let with_lockcheck f =
+  if not !lockcheck_enabled then f ()
+  else begin
+    Lockcheck.enable ();
+    Fun.protect
+      ~finally:(fun () -> Lockcheck.disable ())
+      (fun () ->
+        let r = f () in
+        print_newline ();
+        print_string (Lockcheck.report ());
+        r)
+  end
+
 (* --- E1: the Analysis section's allocb/freeb profile --- *)
 
 let bench_analysis () =
   wall (fun () ->
-      Experiments.Analysis.print (Experiments.Analysis.run ~samples:150 ()))
+      with_lockcheck (fun () ->
+          Experiments.Analysis.print
+            (Experiments.Analysis.run ~samples:150 ())))
 
 (* --- E2: instruction counts --- *)
 
@@ -107,38 +128,46 @@ let with_flightrec ~ncpus f =
 
 let bench_missrates () =
   wall (fun () ->
-      with_flightrec ~ncpus:4 (fun () ->
-          let r = Experiments.Missrates.run ~transactions_per_cpu:2000 () in
-          Experiments.Missrates.print r;
-          Printf.printf "all rates within analytic bounds: %b\n"
-            (Experiments.Missrates.within_bounds r)))
+      with_lockcheck (fun () ->
+          with_flightrec ~ncpus:4 (fun () ->
+              let r =
+                Experiments.Missrates.run ~transactions_per_cpu:2000 ()
+              in
+              Experiments.Missrates.print r;
+              Printf.printf "all rates within analytic bounds: %b\n"
+                (Experiments.Missrates.within_bounds r))))
 
 (* --- E8: memory pressure --- *)
 
 let bench_pressure () =
   wall (fun () ->
-      with_flightrec ~ncpus:4 (fun () ->
-          let r = Experiments.Pressure.run () in
-          Experiments.Pressure.print r;
-          Printf.printf "\ngraceful degradation at 20%% denials: %b\n"
-            (Experiments.Pressure.graceful r)))
+      with_lockcheck (fun () ->
+          with_flightrec ~ncpus:4 (fun () ->
+              let r = Experiments.Pressure.run () in
+              Experiments.Pressure.print r;
+              Printf.printf "\ngraceful degradation at 20%% denials: %b\n"
+                (Experiments.Pressure.graceful r))))
 
 (* --- Smoke: a tiny recorded DLM run for dune's @runtest-smoke --- *)
 
 let bench_smoke () =
   wall (fun () ->
-      section "Smoke: DLM workload with the flight recorder";
-      let saved = !flightrec_enabled in
+      section "Smoke: DLM workload with the flight recorder and lockcheck";
+      let saved_fr = !flightrec_enabled and saved_lc = !lockcheck_enabled in
       flightrec_enabled := true;
+      lockcheck_enabled := true;
       Fun.protect
-        ~finally:(fun () -> flightrec_enabled := saved)
+        ~finally:(fun () ->
+          flightrec_enabled := saved_fr;
+          lockcheck_enabled := saved_lc)
         (fun () ->
-          with_flightrec ~ncpus:2 (fun () ->
-              let r =
-                Experiments.Missrates.run ~ncpus:2 ~transactions_per_cpu:150
-                  ()
-              in
-              Experiments.Missrates.print r)))
+          with_lockcheck (fun () ->
+              with_flightrec ~ncpus:2 (fun () ->
+                  let r =
+                    Experiments.Missrates.run ~ncpus:2
+                      ~transactions_per_cpu:150 ()
+                  in
+                  Experiments.Missrates.print r))))
 
 (* --- Ablation A: the target parameter --- *)
 
@@ -457,8 +486,13 @@ let default_sections =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let flags, names = List.partition (fun a -> a = "--flight-recorder") args in
-  if flags <> [] then flightrec_enabled := true;
+  let flags, names =
+    List.partition
+      (fun a -> a = "--flight-recorder" || a = "--lockcheck")
+      args
+  in
+  if List.mem "--flight-recorder" flags then flightrec_enabled := true;
+  if List.mem "--lockcheck" flags then lockcheck_enabled := true;
   let requested =
     match names with [] -> List.map fst default_sections | names -> names
   in

@@ -192,17 +192,48 @@ let opcounts_cmd =
     (Cmd.info "opcounts" ~doc:"Warm fast-path instruction counts (E2).")
     Term.(const run $ const ())
 
+(* Shared --lockcheck plumbing: enable the synchronization validator
+   around a workload run and print its report afterwards.  The checker
+   is host-side (like the flight recorder), so simulated cycle counts
+   are unchanged; a violation aborts the run with the diagnosis. *)
+let lockcheck_flag =
+  Arg.(
+    value & flag
+    & info [ "lockcheck" ]
+        ~doc:
+          "Validate the synchronization discipline during the run \
+           (lock-order graph / ABBA detection, per-CPU interrupt \
+           discipline, locks held across VM calls) and print the \
+           lockcheck report. Zero simulated-cycle overhead; a violation \
+           aborts with both acquisition backtraces.")
+
+let with_lockcheck ~enabled f =
+  if not enabled then f ()
+  else begin
+    Lockcheck.enable ();
+    Fun.protect
+      ~finally:(fun () -> Lockcheck.disable ())
+      (fun () ->
+        let r = f () in
+        print_newline ();
+        print_string (Lockcheck.report ());
+        r)
+  end
+
 let analysis_cmd =
   let samples =
     Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Operations to trace.")
   in
-  let run samples =
-    Experiments.Analysis.print (Experiments.Analysis.run ~samples ())
+  let run samples lockcheck =
+    with_lockcheck ~enabled:lockcheck (fun () ->
+        Experiments.Analysis.print (Experiments.Analysis.run ~samples ()))
   in
   Cmd.v
     (Cmd.info "analysis"
-       ~doc:"allocb/freeb access-cost profile on the old allocator (E1).")
-    Term.(const run $ samples)
+       ~doc:
+         "allocb/freeb access-cost profile on the old allocator (E1); \
+          $(b,--lockcheck) validates the synchronization discipline (E9).")
+    Term.(const run $ samples $ lockcheck_flag)
 
 (* Shared --flight-recorder plumbing: install a recorder around a
    workload run and print the report afterwards.  Recording is
@@ -237,21 +268,24 @@ let missrates_cmd =
       value & opt int 3000
       & info [ "transactions" ] ~doc:"Transactions per CPU.")
   in
-  let run ncpus txs flightrec =
-    with_flightrec ~enabled:flightrec ~ncpus (fun () ->
-        let r =
-          Experiments.Missrates.run ~ncpus ~transactions_per_cpu:txs ()
-        in
-        Experiments.Missrates.print r;
-        if not (Experiments.Missrates.within_bounds r) then
-          print_endline "WARNING: a measured rate exceeded its analytic bound")
+  let run ncpus txs flightrec lockcheck =
+    with_lockcheck ~enabled:lockcheck (fun () ->
+        with_flightrec ~enabled:flightrec ~ncpus (fun () ->
+            let r =
+              Experiments.Missrates.run ~ncpus ~transactions_per_cpu:txs ()
+            in
+            Experiments.Missrates.print r;
+            if not (Experiments.Missrates.within_bounds r) then
+              print_endline
+                "WARNING: a measured rate exceeded its analytic bound"))
   in
   Cmd.v
     (Cmd.info "missrates"
        ~doc:
          "Per-layer miss rates under the DLM/OLTP workload (E6); \
-          $(b,--flight-recorder) adds the time-resolved trace report.")
-    Term.(const run $ ncpus $ txs $ flightrec_flag)
+          $(b,--flight-recorder) adds the time-resolved trace report; \
+          $(b,--lockcheck) validates the synchronization discipline.")
+    Term.(const run $ ncpus $ txs $ flightrec_flag $ lockcheck_flag)
 
 let pressure_cmd =
   let ncpus = Arg.(value & opt cpus_conv 4 & info [ "cpus" ] ~doc:"CPUs.") in
@@ -273,7 +307,8 @@ let pressure_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-injection seed.")
   in
-  let run ncpus rounds batch rates seed flightrec =
+  let run ncpus rounds batch rates seed flightrec lockcheck =
+    with_lockcheck ~enabled:lockcheck (fun () ->
     with_flightrec ~enabled:flightrec ~ncpus (fun () ->
         let r = Experiments.Pressure.run ~ncpus ~rounds ~batch ~rates ~seed () in
         Experiments.Pressure.print r;
@@ -288,14 +323,17 @@ let pressure_cmd =
           else
             print_endline
               "WARNING: the E8 graceful-degradation shape did not hold"
-        end)
+        end))
   in
   Cmd.v
     (Cmd.info "pressure"
        ~doc:
          "Memory pressure: throughput and pages held vs VM grant-denial \
-          rate, cookie/newkma (reap + adaptive targets) vs mk (E8).")
-    Term.(const run $ ncpus $ rounds $ batch $ rates $ seed $ flightrec_flag)
+          rate, cookie/newkma (reap + adaptive targets) vs mk (E8); \
+          $(b,--lockcheck) validates the synchronization discipline.")
+    Term.(
+      const run $ ncpus $ rounds $ batch $ rates $ seed $ flightrec_flag
+      $ lockcheck_flag)
 
 let cyclic_cmd =
   let days = Arg.(value & opt int 3 & info [ "days" ] ~doc:"Day/night cycles.") in

@@ -29,6 +29,7 @@ type kind =
   | Vm_denial of { injected : bool }
   | Reap of { full : bool }
   | Target_adjust of { si : int; target : int; gbltarget : int; grow : bool }
+  | Lockcheck_violation of { rule : string }
 
 type t = { time : int; cpu : int; kind : kind }
 
@@ -44,7 +45,7 @@ let si_of = function
       Some si
   | Vmblk_carve _ | Vmblk_coalesce _ | Large_alloc _ | Large_free _
   | Obj_alloc _ | Obj_free _ | Lock_acquire _ | Lock_release _ | Vm_grant
-  | Vm_reclaim | Vm_denial _ | Reap _ ->
+  | Vm_reclaim | Vm_denial _ | Reap _ | Lockcheck_violation _ ->
       None
 
 let kind_name = function
@@ -68,6 +69,7 @@ let kind_name = function
   | Vm_denial _ -> "vm-denial"
   | Reap _ -> "reap"
   | Target_adjust _ -> "target-adjust"
+  | Lockcheck_violation _ -> "lockcheck-violation"
 
 let pp_kind ppf = function
   | Alloc { si; layer } ->
@@ -101,6 +103,8 @@ let pp_kind ppf = function
   | Target_adjust { si; target; gbltarget; grow } ->
       Format.fprintf ppf "target-adjust si=%d target=%d gbltarget=%d grow=%b"
         si target gbltarget grow
+  | Lockcheck_violation { rule } ->
+      Format.fprintf ppf "lockcheck-violation rule=%s" rule
 
 let pp ppf { time; cpu; kind } =
   Format.fprintf ppf "[%8d] cpu%d %a" time cpu pp_kind kind

@@ -64,6 +64,11 @@ type kind =
       (** The pressure subsystem moved class [si]'s adaptive bounds to
           [target] / [gbltarget]; [grow] distinguishes additive recovery
           from multiplicative shrink under denial. *)
+  | Lockcheck_violation of { rule : string }
+      (** The lockcheck validator flagged a broken synchronization
+          invariant ([rule] is its name, e.g. ["lock-order"]); the full
+          diagnosis lives in the lockcheck report, the event marks where
+          in the trace it happened. *)
 
 type t = {
   time : int;  (** simulated time (cycles) of the emitting CPU *)

@@ -301,6 +301,29 @@ let pp_pressure ppf events =
            classes)
   end
 
+(* --- lockcheck violations --- *)
+
+(* Rendered only when the run emitted violation events, so reports from
+   clean runs are unchanged. *)
+let pp_lockcheck ppf events =
+  let by_rule : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Lockcheck_violation { rule } -> (
+          match Hashtbl.find_opt by_rule rule with
+          | Some n -> incr n
+          | None -> Hashtbl.add by_rule rule (ref 1))
+      | _ -> ())
+    events;
+  if Hashtbl.length by_rule > 0 then begin
+    Format.fprintf ppf "-- lockcheck violations --@,";
+    List.iter
+      (fun (rule, n) -> Format.fprintf ppf "%s: %d@," rule n)
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) by_rule []))
+  end
+
 let pp ?(buckets = 10) ppf r =
   let events = Recorder.events r in
   Format.fprintf ppf "@[<v>=== flight recorder report ===@,";
@@ -316,6 +339,7 @@ let pp ?(buckets = 10) ppf r =
   pp_pages ppf events;
   pp_counters ppf events;
   pp_pressure ppf events;
+  pp_lockcheck ppf events;
   Format.fprintf ppf "@]"
 
 let to_string ?buckets r = Format.asprintf "%a" (pp ?buckets) r

@@ -18,7 +18,13 @@
     [gbltarget] lists when it empties.  Consecutive coalesce-layer
     interactions are therefore at least [gbltarget] list operations
     apart, giving the paper's 1/gbltarget worst-case miss rate (6.7% for
-    gbltarget = 15). *)
+    gbltarget = 15).
+
+    Invariants: all list state is protected by the per-size [gbl] lock
+    (class [kma.gbl]), the outermost lock of the allocator's
+    gbl -> pagepool -> vmblk order; a refill/drain may therefore reach
+    the VM system with it held (registered [vm_safe], see DESIGN.md
+    "Concurrency invariants"). *)
 
 val boot_init : Ctx.t -> unit
 

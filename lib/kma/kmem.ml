@@ -57,18 +57,30 @@ let create machine ?(params = Params.default) () =
   Global.boot_init ctx;
   Pagepool.boot_init ctx;
   Vmblk.boot_init ctx;
-  (* Name the allocator's locks for flight-recorder reports (no-op when
-     no recorder is installed; boot-time, host-side). *)
+  (* Name the allocator's locks for flight-recorder reports and declare
+     their lockcheck classes (no-ops when neither is installed;
+     boot-time, host-side).  Classes follow the legal nesting
+     gbl -> pagepool -> vmblk; all three are [vm_safe] because the
+     refill chain legitimately reaches [Sim.Vmsys] with them held — see
+     DESIGN.md "Concurrency invariants" for why this deviates from the
+     paper's rule. *)
   for si = 0 to nsizes - 1 do
     let bytes = params.Params.sizes_bytes.(si) in
-    Flightrec.Recorder.note_lock
-      ~addr:(Layout.gbl_addr layout ~si)
-      (Printf.sprintf "gbl[%dB]" bytes);
-    Flightrec.Recorder.note_lock
-      ~addr:(Layout.pagepool_addr layout ~si)
-      (Printf.sprintf "pagepool[%dB]" bytes)
+    let gbl = Layout.gbl_addr layout ~si
+    and pp = Layout.pagepool_addr layout ~si in
+    Flightrec.Recorder.note_lock ~addr:gbl (Printf.sprintf "gbl[%dB]" bytes);
+    Flightrec.Recorder.note_lock ~addr:pp
+      (Printf.sprintf "pagepool[%dB]" bytes);
+    Lockcheck.register_lock ~addr:gbl
+      ~name:(Printf.sprintf "gbl[%dB]" bytes)
+      ~cls:"kma.gbl" ~vm_safe:true ();
+    Lockcheck.register_lock ~addr:pp
+      ~name:(Printf.sprintf "pagepool[%dB]" bytes)
+      ~cls:"kma.pagepool" ~vm_safe:true ()
   done;
   Flightrec.Recorder.note_lock ~addr:layout.Layout.vmctl_base "vmblk";
+  Lockcheck.register_lock ~addr:layout.Layout.vmctl_base ~name:"vmblk"
+    ~cls:"kma.vmblk" ~vm_safe:true ();
   ctx
 
 let max_small_bytes (t : t) =

@@ -15,7 +15,11 @@
     reclaimed for other sizes or for user processes.
 
     All simulated operations take the per-size pagepool lock internally.
-    Lock order: global -> pagepool -> vmblk. *)
+
+    Invariants: per-size state is protected by the [pagepool] lock
+    (class [kma.pagepool]), taken only under (or independently of) a
+    [kma.gbl] lock and before the [kma.vmblk] lock — the middle rung of
+    the gbl -> pagepool -> vmblk order checked by {!Lockcheck}. *)
 
 val boot_init : Ctx.t -> unit
 (** Host-side: marks every radix structure empty. *)

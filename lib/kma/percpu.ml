@@ -31,6 +31,19 @@ let boot_init (ctx : Ctx.t) =
     done
   done
 
+(* Interrupt-discipline probe for the lockcheck validator: simulated
+   code is about to touch the per-CPU cache state owned by CPU [owner].
+   Host-side only — [Machine.running] / [running_irq_off] perform no
+   operation, so the probe adds no yield point and simulated cycles are
+   bit-identical with the checker on or off. *)
+let lockcheck_probe ~owner =
+  if Lockcheck.on () then
+    match Machine.running () with
+    | Some (cpu, time) ->
+        Lockcheck.percpu_access ~cpu ~time ~owner
+          ~irq_off:(Machine.running_irq_off ())
+    | None -> ()
+
 (* Propagate an adaptively changed [target] into this CPU's cache
    word.  Called only from the slow paths, with interrupts disabled, by
    the owning CPU — the safe points at which the pressure subsystem may
@@ -140,6 +153,7 @@ let alloc (ctx : Ctx.t) ~si =
   let st = Kstats.size ctx.Ctx.stats si in
   st.Kstats.allocs <- st.Kstats.allocs + 1;
   Machine.irq_disable ();
+  lockcheck_probe ~owner:cpu;
   let a, layer = alloc_disabled ctx st ~cpu ~si pcc in
   Machine.irq_enable ();
   if Trace.on () then
@@ -158,6 +172,7 @@ let free (ctx : Ctx.t) ~si a =
   let st = Kstats.size ctx.Ctx.stats si in
   st.Kstats.frees <- st.Kstats.frees + 1;
   Machine.irq_disable ();
+  lockcheck_probe ~owner:cpu;
   let layer = ref Flightrec.Event.Percpu in
   let cnt = Machine.read (pcc + o_main_cnt) in
   let tgt = Machine.read (pcc + o_target) in
@@ -204,6 +219,7 @@ let drain (ctx : Ctx.t) ~si =
   let pcc = Layout.pcc_addr ly ~cpu ~si in
   let tgt = live_target ctx ~si in
   Machine.irq_disable ();
+  lockcheck_probe ~owner:cpu;
   sync_target ctx ~cpu ~si pcc;
   flush_half ctx ~si ~tgt pcc o_main_head o_main_cnt;
   flush_half ctx ~si ~tgt pcc o_aux_head o_aux_cnt;
@@ -218,6 +234,7 @@ let drain_aux (ctx : Ctx.t) ~si =
   let pcc = Layout.pcc_addr ly ~cpu ~si in
   let tgt = live_target ctx ~si in
   Machine.irq_disable ();
+  lockcheck_probe ~owner:cpu;
   sync_target ctx ~cpu ~si pcc;
   flush_half ctx ~si ~tgt pcc o_aux_head o_aux_cnt;
   Machine.irq_enable ()

@@ -20,7 +20,12 @@
 
     The fast paths are instruction-calibrated: with a warm cache an
     allocation or free retires exactly 13 simulated instructions
-    (experiment E2; the paper's cookie-interface count). *)
+    (experiment E2; the paper's cookie-interface count).
+
+    Invariants: a CPU's cache state is touched only by that CPU and only
+    with interrupts disabled (the paper's Section 3.2 discipline — no
+    locks, no atomics on the fast path); dynamically enforced by the
+    {!Lockcheck} probe on every entry. *)
 
 exception Corruption of string
 (** Raised by the debug kernel ([Params.debug]) on a detected
@@ -55,6 +60,12 @@ val drain_aux : Ctx.t -> si:int -> unit
 (** [drain_aux ctx ~si] flushes only the reserve ([aux]) list, keeping
     the hot [main] list — the light half of a [kmem_reap] pass (see
     {!Pressure}). *)
+
+val lockcheck_probe : owner:int -> unit
+(** [lockcheck_probe ~owner] runs the {!Lockcheck} interrupt-discipline
+    check for an access to CPU [owner]'s cache state (no-op while the
+    checker is off).  Called internally on every entry; exported so
+    seeded-violation tests can drive the probe directly. *)
 
 (** {1 Host-side oracles} *)
 

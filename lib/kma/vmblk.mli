@@ -18,8 +18,13 @@
     directly ({!alloc_large}/{!free_large}).
 
     All functions except {!boot_init} and the oracles run on the
-    simulated machine and take the vmblk lock internally.  Lock order:
-    global -> pagepool -> vmblk. *)
+    simulated machine and take the vmblk lock internally.
+
+    Invariants: the span maps and dope vector are protected by the
+    single [vmblk] lock (class [kma.vmblk]), the innermost lock of the
+    gbl -> pagepool -> vmblk order; this layer is the only caller of
+    {!Sim.Vmsys}, necessarily with the lock held (registered [vm_safe],
+    see DESIGN.md "Concurrency invariants"). *)
 
 (** {1 Page-descriptor field offsets and states} *)
 

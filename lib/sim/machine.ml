@@ -103,6 +103,9 @@ let with_executing c f =
 let running () =
   match !executing with Some c -> Some (c.id, c.time) | None -> None
 
+let running_irq_off () =
+  match !executing with Some c -> c.irq_off | None -> false
+
 (* Typed operation fronts.  All operations funnel through a single
    int-valued effect so the scheduler needs no existential plumbing. *)
 let perform_op o =

@@ -132,3 +132,9 @@ val running : unit -> (int * int) option
     operation, even a free one, splits the host code around it into
     separately scheduled slices and changes how same-instant host code
     on different CPUs interleaves. *)
+
+val running_irq_off : unit -> bool
+(** [running_irq_off ()] is the interrupt-disable flag of the currently
+    executing CPU ([false] outside any simulation).  Same contract as
+    {!running}: host-side, not an operation, no yield point — this is
+    what the lockcheck interrupt-discipline probe reads. *)

@@ -9,8 +9,24 @@ let init mem a =
 
 let addr t = t.a
 
+(* Lockcheck hooks share the flight recorder's zero-perturbation
+   contract: [Machine.running] only, no operations (see [emit]). *)
+let lc_acquire t =
+  if Lockcheck.on () then
+    match Machine.running () with
+    | Some (cpu, time) -> Lockcheck.acquire ~cpu ~time ~addr:t.a
+    | None -> ()
+
+let lc_release t =
+  if Lockcheck.on () then
+    match Machine.running () with
+    | Some (cpu, time) -> Lockcheck.release ~cpu ~time ~addr:t.a
+    | None -> ()
+
 let try_acquire t =
-  Machine.cas t.a ~expected:unlocked_value ~desired:locked_value
+  let ok = Machine.cas t.a ~expected:unlocked_value ~desired:locked_value in
+  if ok then lc_acquire t;
+  ok
 
 (* Test-and-set with jittered pauses.  A test-and-TEST-and-set spin
    reads first and only then attempts the atomic, but in the simulation
@@ -43,6 +59,7 @@ let acquire t =
 
 let release t =
   assert (Machine.read t.a = locked_value);
+  lc_release t;
   Machine.write t.a unlocked_value;
   emit (Flightrec.Event.Lock_release { lock = t.a })
 

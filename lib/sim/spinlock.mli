@@ -5,7 +5,13 @@
     read-modify-write on a shared cache line, so under contention the
     lock line ping-pongs between CPUs and acquisition cost grows with the
     number of contenders.  All functions must run inside a simulated
-    program (see {!Machine}). *)
+    program (see {!Machine}).
+
+    Invariants: locks are non-recursive and must be released by the
+    acquiring CPU; nested acquisitions must follow one global class
+    order (in this codebase: gbl -> pagepool -> vmblk, see DESIGN.md
+    "Concurrency invariants"); every acquire/release flows through this
+    module so the {!Lockcheck} order graph sees it. *)
 
 type t
 

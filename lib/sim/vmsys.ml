@@ -62,7 +62,17 @@ let emit kind =
     | Some (cpu, time) -> Flightrec.Recorder.emit ~cpu ~time kind
     | None -> ()
 
+(* Entering the VM system with a (non-vm_safe) spinlock held is the
+   discipline violation the paper warns about; same host-side contract
+   as [emit]. *)
+let lc_vm what =
+  if Lockcheck.on () then
+    match Machine.running () with
+    | Some (cpu, time) -> Lockcheck.vm_call ~cpu ~time ~what
+    | None -> ()
+
 let grant t =
+  lc_vm "grant";
   Machine.work t.grant_cost;
   let injected =
     t.fault_threshold > 0 && fault_next t land 0xFFFF < t.fault_threshold
@@ -82,6 +92,7 @@ let grant t =
   end
 
 let reclaim t =
+  lc_vm "reclaim";
   Machine.work t.reclaim_cost;
   if t.ngranted <= 0 then
     invalid_arg "Sim.Vmsys.reclaim: more reclaims than grants";

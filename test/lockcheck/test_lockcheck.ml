@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "lockcheck"
+    [
+      ("unit", Test_unit.suite);
+      ("seeded", Test_seeded.suite);
+      ("identical", Test_identical.suite);
+    ]

@@ -5,5 +5,6 @@ let () =
       ("memory", Test_memory.suite);
       ("cache", Test_cache.suite);
       ("machine", Test_machine.suite);
+      ("spinlock", Test_spinlock.suite);
       ("litmus", Test_litmus.suite);
     ]

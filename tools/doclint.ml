@@ -9,7 +9,10 @@
       paper (a named section, a figure, or an explicit "not part of
       the paper" disclaimer);
    3. every doc comment in the file has balanced odoc markup braces
-      (the classic silently-broken markup: an unclosed {v, {[ or {!).
+      (the classic silently-broken markup: an unclosed {v, {[ or {!);
+   4. interfaces that export a lock or critical-section API must state
+      their synchronization discipline on an "Invariants:" doc line —
+      the prose the lockcheck validator dynamically enforces.
 
    Exits non-zero naming every violation, so the @docs alias (run as
    part of dune runtest) fails the build. *)
@@ -77,6 +80,13 @@ let rec skip_ws src i =
   then skip_ws src (i + 1)
   else i
 
+(* Interfaces exporting a lock or critical-section API: their module
+   doc must carry an "Invariants:" line naming the discipline (who may
+   take the lock, in what order, under what interrupt state).  This is
+   the written half of the contract lib/lockcheck checks at run time. *)
+let invariants_required =
+  [ "spinlock.mli"; "global.mli"; "pagepool.mli"; "vmblk.mli"; "percpu.mli" ]
+
 let check_module_doc file src =
   let i = skip_ws src 0 in
   if
@@ -92,7 +102,15 @@ let check_module_doc file src =
         if not (List.exists (contains body) paper_markers) then
           fail file
             "module doc comment must state which paper section or figure \
-             the module reproduces (or that it has no paper counterpart)"
+             the module reproduces (or that it has no paper counterpart)";
+        if
+          List.mem (Filename.basename file) invariants_required
+          && not (contains body "Invariants:")
+        then
+          fail file
+            "interface exports a lock or critical-section API: module doc \
+             must carry an \"Invariants:\" line naming its \
+             synchronization discipline"
 
 (* Walk every doc comment and check its markup braces pair up.  Odoc
    markup is brace-delimited ({v ... v}, {[ ... ]}, {!ref}, {1 head});
