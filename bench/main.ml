@@ -37,6 +37,27 @@ let with_lockcheck f =
         r)
   end
 
+(* Set by the --heapcheck command-line flag: sections with a quiescent
+   point sweep the allocator's heap invariants (freelist counts,
+   page-descriptor tiling, conservation) and print the heapcheck
+   report.  Host-side, zero simulated-cycle cost; any violation fails
+   the run. *)
+let heapcheck_enabled = ref false
+
+let with_heapcheck f =
+  if not !heapcheck_enabled then f ()
+  else begin
+    Heapcheck.enable ~abort:false ();
+    Fun.protect
+      ~finally:(fun () -> Heapcheck.disable ())
+      (fun () ->
+        let r = f () in
+        print_newline ();
+        print_string (Heapcheck.report ());
+        if Heapcheck.violation_count () > 0 then exit 1;
+        r)
+  end
+
 (* --- E1: the Analysis section's allocb/freeb profile --- *)
 
 let bench_analysis () =
@@ -128,6 +149,7 @@ let with_flightrec ~ncpus f =
 
 let bench_missrates () =
   wall (fun () ->
+      with_heapcheck (fun () ->
       with_lockcheck (fun () ->
           with_flightrec ~ncpus:4 (fun () ->
               let r =
@@ -135,18 +157,43 @@ let bench_missrates () =
               in
               Experiments.Missrates.print r;
               Printf.printf "all rates within analytic bounds: %b\n"
-                (Experiments.Missrates.within_bounds r))))
+                (Experiments.Missrates.within_bounds r)))))
 
 (* --- E8: memory pressure --- *)
 
 let bench_pressure () =
   wall (fun () ->
+      with_heapcheck (fun () ->
       with_lockcheck (fun () ->
           with_flightrec ~ncpus:4 (fun () ->
               let r = Experiments.Pressure.run () in
               Experiments.Pressure.print r;
               Printf.printf "\ngraceful degradation at 20%% denials: %b\n"
-                (Experiments.Pressure.graceful r))))
+                (Experiments.Pressure.graceful r)))))
+
+(* --- Fuzz: differential fuzz of the new allocator (lib/heapcheck) --- *)
+
+let bench_fuzz () =
+  wall (fun () ->
+      section "Differential fuzz vs reference model (heap invariants)";
+      let cell ~name cfg =
+        let o = Heapcheck.Fuzz.run cfg in
+        Printf.printf "%-28s %5d checks  %5d allocs  %5d frees  %s\n" name
+          o.Heapcheck.Fuzz.checks o.Heapcheck.Fuzz.allocs
+          o.Heapcheck.Fuzz.frees
+          (match o.Heapcheck.Fuzz.failure with
+          | None -> "ok"
+          | Some f ->
+              Printf.sprintf "FAILED at op %d" f.Heapcheck.Fuzz.index);
+        if o.Heapcheck.Fuzz.failure <> None then exit 1
+      in
+      cell ~name:"paranoid" (Heapcheck.Fuzz.config ~ops:1500 ~seed:21 ());
+      cell ~name:"pressure + faults"
+        (Heapcheck.Fuzz.config ~ops:1500 ~seed:22 ~pressure:true
+           ~fault_rate:0.3 ());
+      cell ~name:"debug kernel, sweep"
+        (Heapcheck.Fuzz.config ~ops:1500 ~seed:23 ~debug:true
+           ~check_every:32 ()))
 
 (* --- Smoke: a tiny recorded DLM run for dune's @runtest-smoke --- *)
 
@@ -476,6 +523,7 @@ let sections =
     ("bechamel", bechamel_suite);
     ("pool-domains", bench_pool_domains);
     ("pressure", bench_pressure);
+    ("fuzz", bench_fuzz);
     ("smoke", bench_smoke);
   ]
 
@@ -488,11 +536,12 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let flags, names =
     List.partition
-      (fun a -> a = "--flight-recorder" || a = "--lockcheck")
+      (fun a -> a = "--flight-recorder" || a = "--lockcheck" || a = "--heapcheck")
       args
   in
   if List.mem "--flight-recorder" flags then flightrec_enabled := true;
   if List.mem "--lockcheck" flags then lockcheck_enabled := true;
+  if List.mem "--heapcheck" flags then heapcheck_enabled := true;
   let requested =
     match names with [] -> List.map fst default_sections | names -> names
   in

@@ -220,6 +220,53 @@ let with_lockcheck ~enabled f =
         r)
   end
 
+(* Shared --heapcheck plumbing: arm the heap-consistency checker around
+   a workload run; checkpoints fire at the experiments' quiescent
+   points.  Like lockcheck, the checker is host-side (uncharged reads
+   only), so simulated cycle counts are unchanged.  Any recorded
+   violation makes the driver exit non-zero. *)
+let heapcheck_mode_conv =
+  let parse = function
+    | "paranoid" -> Ok Heapcheck.Paranoid
+    | "sweep" -> Ok (Heapcheck.Sweep 64)
+    | s ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown heapcheck mode %S (paranoid or sweep)" s))
+  in
+  let print ppf = function
+    | Heapcheck.Paranoid -> Format.pp_print_string ppf "paranoid"
+    | Heapcheck.Sweep _ -> Format.pp_print_string ppf "sweep"
+  in
+  Arg.conv (parse, print)
+
+let heapcheck_flag =
+  Arg.(
+    value
+    & opt ~vopt:(Some Heapcheck.Paranoid) (some heapcheck_mode_conv) None
+    & info [ "heapcheck" ] ~docv:"MODE"
+        ~doc:
+          "Check heap consistency (freelist count words, page-descriptor \
+           states, pagepool hints, block conservation, duplicate blocks) \
+           at the run's quiescent points and print the heapcheck report. \
+           MODE is $(b,paranoid) (default) or $(b,sweep). Zero \
+           simulated-cycle overhead; any violation makes the exit status \
+           non-zero.")
+
+let with_heapcheck ~mode f =
+  match mode with
+  | None -> f ()
+  | Some mode ->
+      Heapcheck.enable ~abort:false ~mode ();
+      Fun.protect
+        ~finally:(fun () -> Heapcheck.disable ())
+        (fun () ->
+          let r = f () in
+          print_newline ();
+          print_string (Heapcheck.report ());
+          if Heapcheck.violation_count () > 0 then exit 3;
+          r)
+
 let analysis_cmd =
   let samples =
     Arg.(value & opt int 200 & info [ "samples" ] ~doc:"Operations to trace.")
@@ -268,24 +315,28 @@ let missrates_cmd =
       value & opt int 3000
       & info [ "transactions" ] ~doc:"Transactions per CPU.")
   in
-  let run ncpus txs flightrec lockcheck =
-    with_lockcheck ~enabled:lockcheck (fun () ->
-        with_flightrec ~enabled:flightrec ~ncpus (fun () ->
-            let r =
-              Experiments.Missrates.run ~ncpus ~transactions_per_cpu:txs ()
-            in
-            Experiments.Missrates.print r;
-            if not (Experiments.Missrates.within_bounds r) then
-              print_endline
-                "WARNING: a measured rate exceeded its analytic bound"))
+  let run ncpus txs flightrec lockcheck heapcheck =
+    with_heapcheck ~mode:heapcheck (fun () ->
+        with_lockcheck ~enabled:lockcheck (fun () ->
+            with_flightrec ~enabled:flightrec ~ncpus (fun () ->
+                let r =
+                  Experiments.Missrates.run ~ncpus ~transactions_per_cpu:txs ()
+                in
+                Experiments.Missrates.print r;
+                if not (Experiments.Missrates.within_bounds r) then
+                  print_endline
+                    "WARNING: a measured rate exceeded its analytic bound")))
   in
   Cmd.v
     (Cmd.info "missrates"
        ~doc:
          "Per-layer miss rates under the DLM/OLTP workload (E6); \
           $(b,--flight-recorder) adds the time-resolved trace report; \
-          $(b,--lockcheck) validates the synchronization discipline.")
-    Term.(const run $ ncpus $ txs $ flightrec_flag $ lockcheck_flag)
+          $(b,--lockcheck) validates the synchronization discipline; \
+          $(b,--heapcheck) verifies heap consistency after the run.")
+    Term.(
+      const run $ ncpus $ txs $ flightrec_flag $ lockcheck_flag
+      $ heapcheck_flag)
 
 let pressure_cmd =
   let ncpus = Arg.(value & opt cpus_conv 4 & info [ "cpus" ] ~doc:"CPUs.") in
@@ -307,7 +358,8 @@ let pressure_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-injection seed.")
   in
-  let run ncpus rounds batch rates seed flightrec lockcheck =
+  let run ncpus rounds batch rates seed flightrec lockcheck heapcheck =
+    with_heapcheck ~mode:heapcheck (fun () ->
     with_lockcheck ~enabled:lockcheck (fun () ->
     with_flightrec ~enabled:flightrec ~ncpus (fun () ->
         let r = Experiments.Pressure.run ~ncpus ~rounds ~batch ~rates ~seed () in
@@ -323,17 +375,93 @@ let pressure_cmd =
           else
             print_endline
               "WARNING: the E8 graceful-degradation shape did not hold"
-        end))
+        end)))
   in
   Cmd.v
     (Cmd.info "pressure"
        ~doc:
          "Memory pressure: throughput and pages held vs VM grant-denial \
           rate, cookie/newkma (reap + adaptive targets) vs mk (E8); \
-          $(b,--lockcheck) validates the synchronization discipline.")
+          $(b,--lockcheck) validates the synchronization discipline; \
+          $(b,--heapcheck) verifies heap consistency after each cell.")
     Term.(
       const run $ ncpus $ rounds $ batch $ rates $ seed $ flightrec_flag
-      $ lockcheck_flag)
+      $ lockcheck_flag $ heapcheck_flag)
+
+let fuzz_cmd =
+  let ops =
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~doc:"Trace length.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Trace seed.") in
+  let mode =
+    Arg.(
+      value
+      & opt heapcheck_mode_conv Heapcheck.Paranoid
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Consistency-check cadence: $(b,paranoid) checks after every \
+             op, $(b,sweep) every 64 ops.")
+  in
+  let pressure =
+    Arg.(
+      value & flag
+      & info [ "pressure" ]
+          ~doc:"Enable the memory-pressure subsystem (adaptive targets).")
+  in
+  let debug =
+    Arg.(
+      value & flag
+      & info [ "debug" ] ~doc:"Debug kernel (poisoned frees).")
+  in
+  let fault_rate =
+    let rate_conv =
+      let parse s =
+        match float_of_string_opt s with
+        | Some r -> check_rate r
+        | None -> Error (`Msg (Printf.sprintf "invalid fault rate %S" s))
+      in
+      Arg.conv (parse, fun ppf r -> Format.fprintf ppf "%g" r)
+    in
+    Arg.(
+      value & opt rate_conv 0.
+      & info [ "fault-rate" ]
+          ~doc:
+            "VM grant-denial rate armed by the trace's fault-injection \
+             ops (0 removes those ops from the mix).")
+  in
+  let run ops seed mode pressure debug fault_rate =
+    let check_every =
+      match mode with Heapcheck.Paranoid -> 1 | Heapcheck.Sweep n -> n
+    in
+    let cfg =
+      Heapcheck.Fuzz.config ~ops ~check_every ~pressure ~debug ~fault_rate
+        ~seed ()
+    in
+    let o = Heapcheck.Fuzz.run cfg in
+    Printf.printf
+      "fuzz: seed %d, %d ops (%d allocs, %d frees), %d checks, %d cycles\n"
+      seed ops o.Heapcheck.Fuzz.allocs o.Heapcheck.Fuzz.frees
+      o.Heapcheck.Fuzz.checks o.Heapcheck.Fuzz.cycles;
+    match o.Heapcheck.Fuzz.failure with
+    | None -> print_endline "all consistency checks passed"
+    | Some f ->
+        Printf.printf "FAILED after op %d (%s):\n" f.Heapcheck.Fuzz.index
+          (Format.asprintf "%a" Heapcheck.Fuzz.pp_op f.Heapcheck.Fuzz.op);
+        List.iter
+          (fun p -> print_endline ("  " ^ p))
+          f.Heapcheck.Fuzz.problems;
+        let minimized = Heapcheck.Fuzz.minimize cfg (Heapcheck.Fuzz.gen cfg) in
+        Format.printf "minimized reproducer (%d ops):@.%a@."
+          (List.length minimized) Heapcheck.Fuzz.pp_trace minimized;
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzz of the new allocator against a reference model \
+          with full heap-consistency checking; prints a minimized \
+          reproducer and exits non-zero on any violation.")
+    Term.(const run $ ops $ seed $ mode $ pressure $ debug $ fault_rate)
 
 let cyclic_cmd =
   let days = Arg.(value & opt int 3 & info [ "days" ] ~doc:"Day/night cycles.") in
@@ -443,5 +571,6 @@ let () =
        (Cmd.group ~default info
           [
             fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
-            missrates_cmd; pressure_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd;
+            missrates_cmd; pressure_cmd; fuzz_cmd; cyclic_cmd; crosscpu_cmd;
+            trace_cmd;
           ]))

@@ -32,6 +32,9 @@ let run ?(ncpus = 4) ?(transactions_per_cpu = 3000) ?(seed = 11) () =
   in
   let kmem = Kma.Kmem.create m ~params () in
   let oltp = Dlm.Oltp.run ~kmem ~ncpus ~transactions_per_cpu ~seed () in
+  (* Quiescent point: the OLTP run has drained, so the heap checker
+     (when armed) may sweep the whole allocator. *)
+  if Heapcheck.on () then Heapcheck.checkpoint kmem;
   let stats = Kma.Kmem.stats kmem in
   let p = Kma.Kmem.params kmem in
   let rows =

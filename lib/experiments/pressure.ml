@@ -97,6 +97,9 @@ let kma_cell ~cookie ~ncpus ~rounds ~batch ~seed rate =
   in
   run_cell ~ncpus ~rounds ~batch ~alloc ~free m
     ~finish:(fun ~pairs_per_sec ~failures ->
+      (* Quiescent point: the simulation has drained, so the heap
+         checker (when armed) may sweep the whole allocator. *)
+      if Heapcheck.on () then Heapcheck.checkpoint kmem;
       let st = Kma.Kmem.stats kmem in
       {
         rate;

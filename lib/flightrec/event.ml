@@ -30,6 +30,7 @@ type kind =
   | Reap of { full : bool }
   | Target_adjust of { si : int; target : int; gbltarget : int; grow : bool }
   | Lockcheck_violation of { rule : string }
+  | Heapcheck_violation of { rule : string }
 
 type t = { time : int; cpu : int; kind : kind }
 
@@ -45,7 +46,8 @@ let si_of = function
       Some si
   | Vmblk_carve _ | Vmblk_coalesce _ | Large_alloc _ | Large_free _
   | Obj_alloc _ | Obj_free _ | Lock_acquire _ | Lock_release _ | Vm_grant
-  | Vm_reclaim | Vm_denial _ | Reap _ | Lockcheck_violation _ ->
+  | Vm_reclaim | Vm_denial _ | Reap _ | Lockcheck_violation _
+  | Heapcheck_violation _ ->
       None
 
 let kind_name = function
@@ -70,6 +72,7 @@ let kind_name = function
   | Reap _ -> "reap"
   | Target_adjust _ -> "target-adjust"
   | Lockcheck_violation _ -> "lockcheck-violation"
+  | Heapcheck_violation _ -> "heapcheck-violation"
 
 let pp_kind ppf = function
   | Alloc { si; layer } ->
@@ -105,6 +108,8 @@ let pp_kind ppf = function
         si target gbltarget grow
   | Lockcheck_violation { rule } ->
       Format.fprintf ppf "lockcheck-violation rule=%s" rule
+  | Heapcheck_violation { rule } ->
+      Format.fprintf ppf "heapcheck-violation rule=%s" rule
 
 let pp ppf { time; cpu; kind } =
   Format.fprintf ppf "[%8d] cpu%d %a" time cpu pp_kind kind

@@ -69,6 +69,11 @@ type kind =
           invariant ([rule] is its name, e.g. ["lock-order"]); the full
           diagnosis lives in the lockcheck report, the event marks where
           in the trace it happened. *)
+  | Heapcheck_violation of { rule : string }
+      (** The heapcheck consistency checker flagged a broken structural
+          invariant ([rule] is its name, e.g. ["gbl-count"]); the full
+          diagnosis lives in the heapcheck report, the event marks where
+          in the trace it happened. *)
 
 type t = {
   time : int;  (** simulated time (cycles) of the emitting CPU *)

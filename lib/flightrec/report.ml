@@ -324,6 +324,29 @@ let pp_lockcheck ppf events =
          (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) by_rule []))
   end
 
+(* --- heapcheck violations --- *)
+
+(* Same contract as the lockcheck section: rendered only when the run
+   emitted violation events. *)
+let pp_heapcheck ppf events =
+  let by_rule : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.kind with
+      | Event.Heapcheck_violation { rule } -> (
+          match Hashtbl.find_opt by_rule rule with
+          | Some n -> incr n
+          | None -> Hashtbl.add by_rule rule (ref 1))
+      | _ -> ())
+    events;
+  if Hashtbl.length by_rule > 0 then begin
+    Format.fprintf ppf "-- heapcheck violations --@,";
+    List.iter
+      (fun (rule, n) -> Format.fprintf ppf "%s: %d@," rule n)
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) by_rule []))
+  end
+
 let pp ?(buckets = 10) ppf r =
   let events = Recorder.events r in
   Format.fprintf ppf "@[<v>=== flight recorder report ===@,";
@@ -340,6 +363,7 @@ let pp ?(buckets = 10) ppf r =
   pp_counters ppf events;
   pp_pressure ppf events;
   pp_lockcheck ppf events;
+  pp_heapcheck ppf events;
   Format.fprintf ppf "@]"
 
 let to_string ?buckets r = Format.asprintf "%a" (pp ?buckets) r

@@ -1,0 +1,121 @@
+(** Deterministic heap-consistency checker for the allocator: the
+    structural invariants the paper's Design section relies on but
+    never states, made executable.
+
+    The paper's four-layer design only works because a handful of
+    representation invariants hold at every quiescent point: the global
+    layer's list-of-lists carries honest count words and (by its own
+    stated contract) only target-sized lists; a split page's [pd_nfree]
+    equals its intra-page chain length and names the radix bucket the
+    descriptor sits on, with [minhint] a true lower bound; the page
+    descriptors of every vmblk tile into a legal boundary-tag encoding
+    (free spans bounded by [st_free_head]/[st_free_tail] with
+    consistent back-pointers, no orphaned interior states readable as a
+    boundary); blocks are conserved across the layers (per-CPU + global
+    + page-layer free + outstanding = split capacity, and every granted
+    physical page is a split page or part of an allocated span); and no
+    address sits on two freelists.  {!check} verifies all of that
+    host-side in one pass over simulated memory.
+
+    Like the flight recorder and {!Lockcheck}, the checker is
+    zero-perturbation: it reads memory with uncharged [Memory.get],
+    identifies the emitting CPU with the host-side
+    [Sim.Machine.running] accessor, and performs no simulated
+    operation, so simulated cycle counts are bit-identical with the
+    checker on or off (enforced by [test/heapcheck]).
+
+    Soundness caveat: a global check is only meaningful at a quiescent
+    point — between operations of a single-CPU program (host code
+    between operations runs atomically), or after [Machine.run]
+    returns.  Mid-run, other CPUs may be suspended inside a critical
+    section and the structures legitimately inconsistent.
+
+    Invariants: {!check} and {!checkpoint} must run only at quiescent
+    points (no simulated CPU inside an allocator critical section); the
+    checker itself takes no locks, charges no cycles, and never writes
+    simulated memory. *)
+
+(** The invariant families checked. *)
+type rule =
+  | Gbl_count
+      (** a gblfree/bucket count word disagrees with its chain, or a
+          list is not target-sized *)
+  | Percpu_count
+      (** a per-CPU count word disagrees with its chain, or the
+          main/aux target discipline is broken *)
+  | Page_nfree
+      (** [pd_nfree] disagrees with the intra-page chain or the radix
+          bucket the descriptor sits on *)
+  | Minhint  (** [minhint] is not a lower bound on the occupied buckets *)
+  | Span_state
+      (** the page descriptors do not tile into a legal boundary-tag
+          encoding, or disagree with the free-span list *)
+  | Conservation
+      (** blocks or pages are not conserved across the four layers *)
+  | Dup_block  (** one address sits on two freelists *)
+
+val rule_name : rule -> string
+(** ["gbl-count"], ["percpu-count"], ["page-nfree"], ["minhint"],
+    ["span-state"], ["conservation"], ["dup-block"]. *)
+
+type violation = { rule : rule; detail : string }
+
+val check : ?live:int array -> Kma.Kmem.t -> violation list
+(** [check k] walks the allocator's structures in [k]'s simulated
+    memory and returns every broken invariant (empty list = consistent).
+    [live], when given, is the caller's count of outstanding small
+    blocks per size class (a differential fuzzer's reference model);
+    it upgrades the per-class conservation check from an inequality
+    ([free <= capacity]) to an exact equation.  Pure and host-side:
+    no simulated cycles, no writes, never raises on corrupt data. *)
+
+(** {1 Lifecycle (the {!Lockcheck} enable/on/report idiom)} *)
+
+exception Violation of string
+(** Raised by {!note} / {!checkpoint} on the first recorded violation
+    when the checker was enabled with [abort = true] (the default). *)
+
+(** How often a driver should check: after every operation, or every
+    [n] operations (the fuzzer's cheap sweep). *)
+type mode = Paranoid | Sweep of int
+
+val enable : ?abort:bool -> ?mode:mode -> unit -> unit
+(** [enable ()] installs a fresh checker state (any previous state is
+    discarded).  With [abort = false], violations are recorded and
+    emitted as flight-recorder events but do not raise — for drivers
+    that want a post-run report rather than a crash.
+    @raise Invalid_argument if [mode] is [Sweep n] with [n < 1]. *)
+
+val disable : unit -> unit
+(** Drop the checker state; {!on} becomes false.  Idempotent. *)
+
+val on : unit -> bool
+(** The single branch instrumentation sites test. *)
+
+val mode : unit -> mode option
+(** The enabled mode, for drivers choosing a checking cadence. *)
+
+val note : violation -> unit
+(** [note v] records a violation found by an external caller (the
+    fuzzer): appends it, emits a [Heapcheck_violation] flight-recorder
+    event via the host-side [Machine.running] accessor, and raises
+    {!Violation} when enabled with [abort = true].  No-op while {!on}
+    is false. *)
+
+val checkpoint : ?live:int array -> Kma.Kmem.t -> unit
+(** [checkpoint k] runs {!check} and {!note}s every violation — the
+    one-call hook experiment drivers place at quiescent points.  No-op
+    while {!on} is false. *)
+
+(** {1 Results (host-side)} *)
+
+val violations : unit -> (rule * string) list
+(** All recorded violations, oldest first (empty when disabled). *)
+
+val violation_count : unit -> int
+val check_count : unit -> int
+(** Checkpoints run since {!enable}. *)
+
+val report : unit -> string
+(** Text report: checkpoints run, per-rule violation counts, and every
+    recorded violation in full. *)

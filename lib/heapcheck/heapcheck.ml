@@ -1,0 +1,2 @@
+include Check
+module Fuzz = Fuzz

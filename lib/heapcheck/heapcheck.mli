@@ -1,0 +1,16 @@
+(** Heap-consistency checking for the allocator: {!Check} makes the
+    structural invariants of the paper's Design section executable, and
+    {!Fuzz} drives the allocator against a reference model to enforce
+    them over randomized histories.  This root module re-exports
+    {!Check} flat — [Heapcheck.check], [Heapcheck.enable],
+    [Heapcheck.report] — alongside [Heapcheck.Fuzz].
+
+    Invariants: everything here is host-side and zero-perturbation
+    (uncharged reads only, no locks, no simulated writes); checks are
+    sound only at quiescent points — see {!Check}. *)
+
+include module type of struct
+  include Check
+end
+
+module Fuzz = Fuzz

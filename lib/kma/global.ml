@@ -66,15 +66,24 @@ let take_from_bucket ctx ~si ~n =
     (head, taken)
   end
 
-(* Drain [gbltarget] lists down to the coalesce-to-page layer (overflow
-   hysteresis). *)
+(* Drain up to [gbltarget] lists down to the coalesce-to-page layer
+   (overflow hysteresis).  Stops at the first empty pop: once [f_head]
+   reads 0 every further iteration would just re-read it while still
+   holding the per-size spinlock, lengthening the critical section for
+   nothing. *)
 let drain ctx ~si =
   let st = Kstats.size ctx.Ctx.stats si in
   st.Kstats.gbl_put_misses <- st.Kstats.gbl_put_misses + 1;
-  for _ = 1 to gbltarget ctx si do
-    let head, count = pop_list ctx ~si in
-    if head <> 0 then Pagepool.put_blocks ctx ~si ~head ~count
-  done
+  let rec go n =
+    if n > 0 then begin
+      let head, count = pop_list ctx ~si in
+      if head <> 0 then begin
+        Pagepool.put_blocks ctx ~si ~head ~count;
+        go (n - 1)
+      end
+    end
+  in
+  go (gbltarget ctx si)
 
 (* Refill up to [gbltarget] lists from the coalesce-to-page layer
    (underflow hysteresis).  Short lists go via the bucket so gblfree
@@ -234,3 +243,21 @@ let total_blocks_oracle (ctx : Ctx.t) ~si =
   in
   lists (Memory.get mem (f_head ly ~si)) 0
   + bucket_count_oracle ctx ~si
+
+let lists_oracle (ctx : Ctx.t) ~si =
+  let mem = Ctx.memory ctx in
+  let ly = ctx.Ctx.layout in
+  let rec go head n acc =
+    if head = 0 then List.rev acc
+    else if n > 1_000_000 then
+      invalid_arg "Kma.Global.lists_oracle: next-list chain exceeds 1M nodes"
+    else
+      go
+        (Memory.get mem (head + Freelist.next_list))
+        (n + 1)
+        ((head, Memory.get mem (head + Freelist.count)) :: acc)
+  in
+  go (Memory.get mem (f_head ly ~si)) 0 []
+
+let bucket_head_oracle (ctx : Ctx.t) ~si =
+  Memory.get (Ctx.memory ctx) (f_bucket ctx.Ctx.layout ~si)

@@ -44,6 +44,13 @@ val put_partial : Ctx.t -> si:int -> head:int -> count:int -> unit
 (** [put_partial ctx ~si ~head ~count] accepts an odd-sized chain onto
     the bucket list and regroups full lists out of it. *)
 
+val drain : Ctx.t -> si:int -> unit
+(** [drain ctx ~si] pushes up to [gbltarget] lists down to the
+    coalesce-to-page layer, stopping at the first empty pop (overflow
+    hysteresis).  Exposed for the critical-section regression test;
+    normal callers reach it through {!put_list} / {!put_partial}
+    overflow.  Caller must hold the per-size [gbl] lock. *)
+
 val trim : Ctx.t -> si:int -> keep:int -> unit
 (** [trim ctx ~si ~keep] pushes lists down to the coalesce-to-page
     layer until at most [keep] remain (the bucket is emptied too when
@@ -61,3 +68,11 @@ val nlists_oracle : Ctx.t -> si:int -> int
 val bucket_count_oracle : Ctx.t -> si:int -> int
 val total_blocks_oracle : Ctx.t -> si:int -> int
 (** Blocks held by the global layer (lists plus bucket). *)
+
+val lists_oracle : Ctx.t -> si:int -> (int * int) list
+(** Every list on [gblfree] as [(head, count-word)] pairs, in list
+    order.  Count words are read back raw (not recomputed), so a
+    checker can compare them against actual chain lengths. *)
+
+val bucket_head_oracle : Ctx.t -> si:int -> int
+(** Head block of the bucket chain (0 when empty). *)

@@ -207,6 +207,9 @@ let bucket_pages_oracle (ctx : Ctx.t) ~si =
   in
   buckets 1 []
 
+let minhint_oracle (ctx : Ctx.t) ~si =
+  Memory.get (Ctx.memory ctx) (minhint_addr ctx.Ctx.layout ~si)
+
 let free_blocks_oracle (ctx : Ctx.t) ~si =
   List.fold_left
     (fun acc (nfree, pages) -> acc + (nfree * List.length pages))

@@ -43,5 +43,9 @@ val put_block : Ctx.t -> si:int -> int -> unit
 val bucket_pages_oracle : Ctx.t -> si:int -> (int * int list) list
 (** [(nfree, pages)] for every non-empty radix bucket, ascending. *)
 
+val minhint_oracle : Ctx.t -> si:int -> int
+(** Raw [minhint] word: the claimed lower bound on the fullest
+    non-empty bucket ([blocks_per_page + 1] when all are empty). *)
+
 val free_blocks_oracle : Ctx.t -> si:int -> int
 (** Total free blocks held in partially-free pages of class [si]. *)

@@ -185,15 +185,28 @@ let free (ctx : Ctx.t) ~si a =
   else begin
     Machine.work w_slow_branch;
     sync_target ctx ~cpu ~si pcc;
+    (* [sync_target] may have just moved this CPU's target, in which
+       case the aux list was filled under the *old* bound and is no
+       longer target-sized; re-read the word it may have written (the
+       host branch keeps pressure-off runs bit-identical — no extra
+       charged read when the word cannot have changed). *)
+    let tgt =
+      if (ctx.Ctx.pressure).Ctx.enabled then Machine.read (pcc + o_target)
+      else tgt
+    in
     let acnt = Machine.read (pcc + o_aux_cnt) in
     if acnt <> 0 then begin
-      (* aux holds a full target-sized list: one O(1) hand-off to the
-         global layer. *)
       st.Kstats.free_misses <- st.Kstats.free_misses + 1;
       layer := Flightrec.Event.Global;
-      Global.put_list ctx ~si
-        ~head:(Machine.read (pcc + o_aux_head))
-        ~count:acnt
+      let head = Machine.read (pcc + o_aux_head) in
+      if acnt = tgt then
+        (* aux holds a full target-sized list: one O(1) hand-off to the
+           global layer. *)
+        Global.put_list ctx ~si ~head ~count:acnt
+      else
+        (* Stale-target remainder: gblfree carries only target-sized
+           lists, so an odd-sized aux must go through the bucket. *)
+        Global.put_partial ctx ~si ~head ~count:acnt
     end;
     (* Slide the full main into aux, start a fresh main with [a]. *)
     Machine.write (pcc + o_aux_head) (Machine.read (pcc + o_main_head));
@@ -243,3 +256,10 @@ let cached_blocks_oracle (ctx : Ctx.t) ~cpu ~si =
   let mem = Ctx.memory ctx in
   let pcc = Layout.pcc_addr ctx.Ctx.layout ~cpu ~si in
   Memory.get mem (pcc + o_main_cnt) + Memory.get mem (pcc + o_aux_cnt)
+
+let cache_oracle (ctx : Ctx.t) ~cpu ~si =
+  let mem = Ctx.memory ctx in
+  let pcc = Layout.pcc_addr ctx.Ctx.layout ~cpu ~si in
+  ( (Memory.get mem (pcc + o_main_head), Memory.get mem (pcc + o_main_cnt)),
+    (Memory.get mem (pcc + o_aux_head), Memory.get mem (pcc + o_aux_cnt)),
+    Memory.get mem (pcc + o_target) )

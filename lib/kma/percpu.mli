@@ -71,3 +71,8 @@ val lockcheck_probe : owner:int -> unit
 
 val cached_blocks_oracle : Ctx.t -> cpu:int -> si:int -> int
 (** Blocks currently held by a per-CPU cache (main + aux). *)
+
+val cache_oracle : Ctx.t -> cpu:int -> si:int -> (int * int) * (int * int) * int
+(** Raw cache words [((main_head, main_cnt), (aux_head, aux_cnt),
+    target)] — the heapcheck checker walks the chains itself and
+    compares against the count words. *)

@@ -194,7 +194,15 @@ let alloc_pages (ctx : Ctx.t) ~npages =
           end
           else begin
             (* Out of physical memory: release the span again (it will
-               coalesce with whatever we just split it from). *)
+               coalesce with whatever we just split it from).
+               [mark_allocated_span] put the interior descriptors in
+               [st_span_mid]; they must go back to [st_free_mid] or a
+               later neighbour free would read a stale span interior
+               where the boundary-tag encoding promises free-mid. *)
+            for i = 1 to npages - 1 do
+              Machine.write (pd + (i * ly.Layout.pd_words) + pd_state)
+                st_free_mid
+            done;
             mark_free_span ly ~head_pd:pd ~len:npages;
             span_insert ly pd;
             coalesce_back ly pd npages;
@@ -210,6 +218,14 @@ let free_pages (ctx : Ctx.t) ~page ~npages =
         Vmsys.reclaim ctx.Ctx.vmsys
       done;
       let head_pd = Layout.pd_of_page ly ~page_addr:page in
+      (* [mark_allocated_span] left the interior descriptors in
+         [st_span_mid]; the boundary-tag tiling requires free-span
+         interiors to read [st_free_mid] (a later carve of this span
+         relies on zeroed interiors). *)
+      for i = 1 to npages - 1 do
+        Machine.write (head_pd + (i * ly.Layout.pd_words) + pd_state)
+          st_free_mid
+      done;
       mark_free_span ly ~head_pd ~len:npages;
       span_insert ly head_pd;
       coalesce_back ly head_pd npages;
@@ -263,3 +279,19 @@ let free_span_lengths_oracle (ctx : Ctx.t) =
 
 let nvmblks_oracle (ctx : Ctx.t) =
   Memory.get (Ctx.memory ctx) (ctl_nvmblks ctx.Ctx.layout)
+
+let free_spans_oracle (ctx : Ctx.t) =
+  let mem = Ctx.memory ctx in
+  let ly = ctx.Ctx.layout in
+  let cap = Layout.total_data_pages ly + 1 in
+  let rec go pd n acc =
+    if pd = 0 then List.rev acc
+    else if n > cap then
+      invalid_arg "Kma.Vmblk.free_spans_oracle: span list exceeds the arena"
+    else
+      go
+        (Memory.get mem (pd + pd_next))
+        (n + 1)
+        ((pd, Memory.get mem (pd + pd_arg)) :: acc)
+  in
+  go (Memory.get mem (ctl_span_head ly)) 0 []

@@ -99,3 +99,8 @@ val free_span_lengths_oracle : Ctx.t -> int list
 (** Lengths of every span on the free-span list (in list order). *)
 
 val nvmblks_oracle : Ctx.t -> int
+
+val free_spans_oracle : Ctx.t -> (int * int) list
+(** Every span on the free-span list as [(head descriptor address,
+    recorded length)] pairs, in list order — the raw material for the
+    heapcheck boundary-tag sweep. *)

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "heapcheck"
+    [
+      ("unit", Test_unit.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("identical", Test_identical.suite);
+    ]

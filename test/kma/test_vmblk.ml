@@ -127,6 +127,62 @@ let test_pd_of_block_lookup () =
       Alcotest.(check int) "state allocated" Vmblk.st_span_alloc
         (Sim.Machine.read (pd + Vmblk.pd_state)))
 
+(* Every free span must read as a legal boundary-tag encoding:
+   st_free_head at the head, st_free_tail at the tail (spans of 2+),
+   st_free_mid everywhere in between.  A stale st_span_mid interior is
+   the latent descriptor bug the two regression tests below pin. *)
+let free_span_states_legal ctx =
+  let mem = Ctx.memory ctx in
+  let ly = ctx.Ctx.layout in
+  let pdw = ly.Layout.pd_words in
+  List.for_all
+    (fun (pd, len) ->
+      let st i = Sim.Memory.get mem (pd + (i * pdw) + Vmblk.pd_state) in
+      st 0 = Vmblk.st_free_head
+      && (len = 1 || st (len - 1) = Vmblk.st_free_tail)
+      &&
+      let ok = ref true in
+      for i = 1 to len - 2 do
+        if st i <> Vmblk.st_free_mid then ok := false
+      done;
+      !ok)
+    (Vmblk.free_spans_oracle ctx)
+
+(* Regression: the grant-failure undo in [alloc_pages] used to leave
+   the interior descriptors that [mark_allocated_span] had put in
+   [st_span_mid], handing a corrupt encoding back to the free list. *)
+let test_grant_failure_undo_resets_interiors () =
+  let m, k = fixture () in
+  let ctx = Util.ctx_of k in
+  let vmsys = Kmem.vmsys k in
+  Util.on_cpu m (fun () ->
+      let a = Vmblk.alloc_pages ctx ~npages:3 in
+      Alcotest.(check bool) "warm alloc fits" true (a <> 0);
+      (* Deny every further grant: a 4-page carve must undo itself. *)
+      Sim.Vmsys.set_fault_rate vmsys ~seed:1 1.0;
+      let b = Vmblk.alloc_pages ctx ~npages:4 in
+      Alcotest.(check int) "alloc fails under denial" 0 b;
+      Sim.Vmsys.set_fault_rate vmsys ~seed:1 0.0;
+      Vmblk.free_pages ctx ~page:a ~npages:3);
+  Alcotest.(check bool) "free spans form a legal boundary-tag tiling" true
+    (free_span_states_legal ctx);
+  Alcotest.(check (list int)) "fully coalesced" [ 15 ]
+    (Vmblk.free_span_lengths_oracle ctx)
+
+(* Regression: [free_pages] (the ordinary span free) had the same
+   latent bug — interiors stayed [st_span_mid] inside the freed span.
+   Found by the lib/heapcheck fuzzer (2-op reproducer: alloc-large,
+   free-large). *)
+let test_free_pages_resets_interiors () =
+  let m, k = fixture () in
+  let ctx = Util.ctx_of k in
+  Util.on_cpu m (fun () ->
+      let a = Vmblk.alloc_pages ctx ~npages:4 in
+      Alcotest.(check bool) "span allocated" true (a <> 0);
+      Vmblk.free_pages ctx ~page:a ~npages:4);
+  Alcotest.(check bool) "free spans form a legal boundary-tag tiling" true
+    (free_span_states_legal ctx)
+
 (* Property: any sequence of span allocs and frees keeps spans disjoint
    and conserves pages; freeing everything restores one full span per
    touched vmblk. *)
@@ -185,5 +241,9 @@ let suite =
       test_large_alloc_free;
     Alcotest.test_case "pd_of_block dope lookup" `Quick
       test_pd_of_block_lookup;
+    Alcotest.test_case "grant-failure undo resets interior descriptors"
+      `Quick test_grant_failure_undo_resets_interiors;
+    Alcotest.test_case "free_pages resets interior descriptors" `Quick
+      test_free_pages_resets_interiors;
     QCheck_alcotest.to_alcotest prop_span_conservation;
   ]

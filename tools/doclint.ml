@@ -85,7 +85,10 @@ let rec skip_ws src i =
    take the lock, in what order, under what interrupt state).  This is
    the written half of the contract lib/lockcheck checks at run time. *)
 let invariants_required =
-  [ "spinlock.mli"; "global.mli"; "pagepool.mli"; "vmblk.mli"; "percpu.mli" ]
+  [
+    "spinlock.mli"; "global.mli"; "pagepool.mli"; "vmblk.mli"; "percpu.mli";
+    "check.mli"; "heapcheck.mli";
+  ]
 
 let check_module_doc file src =
   let i = skip_ws src 0 in
