@@ -11,18 +11,31 @@
 
 let section name = Experiments.Series.heading name
 
+(* Host-side wall clock for section timing: monotonic, so NTP steps or
+   host clock slews can never produce negative or skewed section times
+   (Unix.gettimeofday is wall time and can move backwards). *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let r = f () in
-  Printf.printf "(section took %.1fs of host time)\n"
-    (Unix.gettimeofday () -. t0);
+  Printf.printf "(section took %.1fs of host time)\n" (now_s () -. t0);
   r
+
+(* --- the domain-parallel job pool (--jobs) --- *)
+
+let jobs = ref (Parallel.default_jobs ())
 
 (* Set by the --lockcheck command-line flag: sections that exercise the
    allocators validate the synchronization discipline (lock order, irq
    discipline, locks across VM calls) and print the lockcheck report.
    Host-side, zero simulated-cycle cost, like the flight recorder. *)
 let lockcheck_enabled = ref false
+
+(* Set by the --flight-recorder command-line flag: sections that run the
+   DLM workload record a per-CPU event trace and print the
+   flight-recorder report (host-side, zero simulated-cycle cost). *)
+let flightrec_enabled = ref false
 
 let with_lockcheck f =
   if not !lockcheck_enabled then f ()
@@ -43,6 +56,14 @@ let with_lockcheck f =
    report.  Host-side, zero simulated-cycle cost; any violation fails
    the run. *)
 let heapcheck_enabled = ref false
+
+(* The flight recorder and lockcheck keep host-GLOBAL state (one
+   installed recorder, one lock graph), so sections running with those
+   checkers enabled are serialized onto the calling domain; heapcheck
+   state is domain-local with a shard/absorb merge, so it composes
+   with any job count.  See DESIGN.md "Concurrency invariants". *)
+let effective_jobs () =
+  if !flightrec_enabled || !lockcheck_enabled then 1 else !jobs
 
 let with_heapcheck f =
   if not !heapcheck_enabled then f ()
@@ -69,15 +90,17 @@ let bench_analysis () =
 (* --- E2: instruction counts --- *)
 
 let bench_opcounts () =
-  wall (fun () -> Experiments.Opcounts.print (Experiments.Opcounts.run ()))
+  wall (fun () ->
+      Experiments.Opcounts.print
+        (Experiments.Opcounts.run ~jobs:(effective_jobs ()) ()))
 
 (* --- E3/E4: Figures 7 and 8 --- *)
 
 let bench_fig7 () =
   wall (fun () ->
       let points =
-        Experiments.Fig7.run ~cpus:[ 1; 2; 4; 8; 12; 16; 20; 25 ] ~iters:400
-          ()
+        Experiments.Fig7.run ~jobs:(effective_jobs ())
+          ~cpus:[ 1; 2; 4; 8; 12; 16; 20; 25 ] ~iters:400 ()
       in
       Experiments.Fig7.print_linear points;
       Experiments.Fig7.print_semilog points;
@@ -106,18 +129,24 @@ let bench_fig7 () =
 
 let bench_fig9 () =
   wall (fun () ->
-      let results =
-        Experiments.Fig9.run ~memory_words:(256 * 1024) ()
+      (* Each Fig9 sweep runs every size on ONE machine (cache warmth
+         carries from size to size), so the per-size cells are not
+         independent; the two allocator sweeps are, and fan out. *)
+      let results, mk =
+        match
+          Parallel.map ~jobs:(effective_jobs ())
+            (fun which ->
+              Experiments.Fig9.run ?which ~memory_words:(256 * 1024) ())
+            [ None; Some Baseline.Allocator.Mk ]
+        with
+        | [ results; mk ] -> (results, mk)
+        | _ -> assert false
       in
       Experiments.Fig9.print results;
       Printf.printf "sweep completed without wedging: %b\n"
         (Experiments.Fig9.completed results);
       (* The paper's side claim: an allocator without coalescing cannot
          complete this benchmark. *)
-      let mk =
-        Experiments.Fig9.run ~which:Baseline.Allocator.Mk
-          ~memory_words:(256 * 1024) ()
-      in
       let wedged =
         List.filter (fun r -> r.Workload.Worstcase.blocks <= 10) mk
       in
@@ -127,11 +156,6 @@ let bench_fig9 () =
         (List.length wedged) (List.length mk))
 
 (* --- E6: DLM miss rates --- *)
-
-(* Set by the --flight-recorder command-line flag: sections that run the
-   DLM workload record a per-CPU event trace and print the
-   flight-recorder report (host-side, zero simulated-cycle cost). *)
-let flightrec_enabled = ref false
 
 let with_flightrec ~ncpus f =
   if not !flightrec_enabled then f ()
@@ -166,7 +190,7 @@ let bench_pressure () =
       with_heapcheck (fun () ->
       with_lockcheck (fun () ->
           with_flightrec ~ncpus:4 (fun () ->
-              let r = Experiments.Pressure.run () in
+              let r = Experiments.Pressure.run ~jobs:(effective_jobs ()) () in
               Experiments.Pressure.print r;
               Printf.printf "\ngraceful degradation at 20%% denials: %b\n"
                 (Experiments.Pressure.graceful r)))))
@@ -176,24 +200,34 @@ let bench_pressure () =
 let bench_fuzz () =
   wall (fun () ->
       section "Differential fuzz vs reference model (heap invariants)";
-      let cell ~name cfg =
-        let o = Heapcheck.Fuzz.run cfg in
-        Printf.printf "%-28s %5d checks  %5d allocs  %5d frees  %s\n" name
-          o.Heapcheck.Fuzz.checks o.Heapcheck.Fuzz.allocs
-          o.Heapcheck.Fuzz.frees
-          (match o.Heapcheck.Fuzz.failure with
-          | None -> "ok"
-          | Some f ->
-              Printf.sprintf "FAILED at op %d" f.Heapcheck.Fuzz.index);
-        if o.Heapcheck.Fuzz.failure <> None then exit 1
+      let matrix =
+        [
+          ("paranoid", Heapcheck.Fuzz.config ~ops:1500 ~seed:21 ());
+          ( "pressure + faults",
+            Heapcheck.Fuzz.config ~ops:1500 ~seed:22 ~pressure:true
+              ~fault_rate:0.3 () );
+          ( "debug kernel, sweep",
+            Heapcheck.Fuzz.config ~ops:1500 ~seed:23 ~debug:true
+              ~check_every:32 () );
+        ]
       in
-      cell ~name:"paranoid" (Heapcheck.Fuzz.config ~ops:1500 ~seed:21 ());
-      cell ~name:"pressure + faults"
-        (Heapcheck.Fuzz.config ~ops:1500 ~seed:22 ~pressure:true
-           ~fault_rate:0.3 ());
-      cell ~name:"debug kernel, sweep"
-        (Heapcheck.Fuzz.config ~ops:1500 ~seed:23 ~debug:true
-           ~check_every:32 ()))
+      let outcomes =
+        Heapcheck.Fuzz.run_matrix ~jobs:(effective_jobs ())
+          (List.map snd matrix)
+      in
+      let failed = ref false in
+      List.iter2
+        (fun (name, _) (o : Heapcheck.Fuzz.outcome) ->
+          Printf.printf "%-28s %5d checks  %5d allocs  %5d frees  %s\n" name
+            o.Heapcheck.Fuzz.checks o.Heapcheck.Fuzz.allocs
+            o.Heapcheck.Fuzz.frees
+            (match o.Heapcheck.Fuzz.failure with
+            | None -> "ok"
+            | Some f ->
+                Printf.sprintf "FAILED at op %d" f.Heapcheck.Fuzz.index);
+          if o.Heapcheck.Fuzz.failure <> None then failed := true)
+        matrix outcomes;
+      if !failed then exit 1)
 
 (* --- Smoke: a tiny recorded DLM run for dune's @runtest-smoke --- *)
 
@@ -224,7 +258,7 @@ let bench_ablation_target () =
         "Ablation: per-CPU target (1 = no batching, the paper's \
          free-singly strawman)";
       let rows =
-        List.map
+        Parallel.map ~jobs:(effective_jobs ())
           (fun target ->
             let cfg = Workload.Rig.paper_config ~ncpus:4 () in
             let m = Sim.Machine.create cfg in
@@ -338,8 +372,14 @@ let bench_ablation_page_policy () =
           |];
         !final
       in
-      let f_pages, f_ret, f_live = churn Kma.Params.Fullest_first in
-      let e_pages, e_ret, e_live = churn Kma.Params.Emptiest_first in
+      let (f_pages, f_ret, f_live), (e_pages, e_ret, e_live) =
+        match
+          Parallel.map ~jobs:(effective_jobs ()) churn
+            [ Kma.Params.Fullest_first; Kma.Params.Emptiest_first ]
+        with
+        | [ f; e ] -> (f, e)
+        | _ -> assert false
+      in
       Experiments.Series.table
         ~header:
           [ "policy"; "live blocks"; "pages held"; "pages recycled" ]
@@ -359,7 +399,7 @@ let bench_crosscpu () =
   wall (fun () ->
       section "Producer/consumer flow through the global layer";
       let rows =
-        List.map
+        Parallel.map ~jobs:(effective_jobs ())
           (fun which ->
             let r =
               Workload.Crosscpu.run ~which ~pairs:2 ~blocks_per_pair:2000 ()
@@ -381,7 +421,7 @@ let bench_roads_not_taken () =
          shared-state traffic)";
       let open Baseline.Allocator in
       let points =
-        Experiments.Fig7.run
+        Experiments.Fig7.run ~jobs:(effective_jobs ())
           ~whichs:[ Cookie; Newkma; Lazybuddy ]
           ~cpus:[ 1; 2; 4; 8 ] ~iters:400 ()
       in
@@ -532,27 +572,169 @@ let sections =
 let default_sections =
   List.filter (fun (n, _) -> n <> "smoke") sections
 
+(* Sections whose sweeps fan out over the job pool (analysis and
+   missrates each drive a single machine; bechamel and pool-domains are
+   host microbenchmarks) — the only ones --compare-jobs1 re-times. *)
+let parallel_sections =
+  [
+    "opcounts"; "fig7"; "fig9"; "ablation-target"; "ablation-pagepolicy";
+    "crosscpu"; "roads-not-taken"; "pressure"; "fuzz";
+  ]
+
+let host_json = ref (Some "BENCH_host.json")
+let compare_jobs1 = ref false
+
+(* Run [f] with stdout sent to /dev/null: --compare-jobs1 re-runs
+   sections purely for their host time, and their (identical) output
+   must not appear twice. *)
+let silenced f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+type record = {
+  rname : string;
+  seconds : float;
+  rjobs : int;
+  seconds_jobs1 : float option;
+}
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_host_json path records =
+  let oc = open_out path in
+  let total = List.fold_left (fun a r -> a +. r.seconds) 0. records in
+  Printf.fprintf oc "{\n  \"host_cores\": %d,\n  \"jobs\": %d,\n"
+    (Domain.recommended_domain_count ())
+    !jobs;
+  Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"sections\": [\n" total;
+  List.iteri
+    (fun i r ->
+      let speedup =
+        match r.seconds_jobs1 with
+        | Some t1 when r.seconds > 0. -> Printf.sprintf "%.2f" (t1 /. r.seconds)
+        | _ -> "null"
+      in
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"seconds\": %.3f, \"jobs\": %d, \
+         \"seconds_jobs1\": %s, \"speedup_vs_jobs1\": %s}%s\n"
+        (json_escape r.rname) r.seconds r.rjobs
+        (match r.seconds_jobs1 with
+        | Some t1 -> Printf.sprintf "%.3f" t1
+        | None -> "null")
+        speedup
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let set_jobs v =
+  match int_of_string_opt v with
+  | Some n when n >= 1 -> jobs := n
+  | Some _ | None ->
+      Printf.eprintf "bench: invalid --jobs value %S (want an integer >= 1)\n"
+        v;
+      exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let flags, names =
-    List.partition
-      (fun a -> a = "--flight-recorder" || a = "--lockcheck" || a = "--heapcheck")
-      args
+  let rec parse args names =
+    match args with
+    | [] -> List.rev names
+    | "--flight-recorder" :: rest ->
+        flightrec_enabled := true;
+        parse rest names
+    | "--lockcheck" :: rest ->
+        lockcheck_enabled := true;
+        parse rest names
+    | "--heapcheck" :: rest ->
+        heapcheck_enabled := true;
+        parse rest names
+    | "--jobs" :: v :: rest ->
+        set_jobs v;
+        parse rest names
+    | [ "--jobs" ] ->
+        prerr_endline "bench: --jobs needs a value";
+        exit 2
+    | "--no-host-json" :: rest ->
+        host_json := None;
+        parse rest names
+    | "--host-json" :: path :: rest ->
+        host_json := Some path;
+        parse rest names
+    | [ "--host-json" ] ->
+        prerr_endline "bench: --host-json needs a path";
+        exit 2
+    | "--compare-jobs1" :: rest ->
+        compare_jobs1 := true;
+        parse rest names
+    | arg :: rest
+      when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        parse rest names
+    | name :: rest -> parse rest (name :: names)
   in
-  if List.mem "--flight-recorder" flags then flightrec_enabled := true;
-  if List.mem "--lockcheck" flags then lockcheck_enabled := true;
-  if List.mem "--heapcheck" flags then heapcheck_enabled := true;
+  let names = parse (List.tl (Array.to_list Sys.argv)) [] in
+  if !jobs > 1 && (!flightrec_enabled || !lockcheck_enabled) then
+    prerr_endline
+      "bench: note: --flight-recorder/--lockcheck keep host-global state; \
+       their sections run with jobs=1";
   let requested =
     match names with [] -> List.map fst default_sections | names -> names
   in
+  let records = ref [] in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f ->
+          let rjobs =
+            if List.mem name parallel_sections then effective_jobs () else 1
+          in
+          let t0 = now_s () in
+          f ();
+          let seconds = now_s () -. t0 in
+          let seconds_jobs1 =
+            if
+              !compare_jobs1 && rjobs > 1
+              && List.mem name parallel_sections
+            then begin
+              let saved = !jobs in
+              let t1 = now_s () in
+              Fun.protect
+                ~finally:(fun () -> jobs := saved)
+                (fun () ->
+                  jobs := 1;
+                  silenced f);
+              Some (now_s () -. t1)
+            end
+            else None
+          in
+          records := { rname = name; seconds; rjobs; seconds_jobs1 } :: !records
       | None ->
           Printf.eprintf "unknown section %s (have: %s)\n" name
             (String.concat ", " (List.map fst sections));
           exit 1)
     requested;
+  (match !host_json with
+  | Some path -> write_host_json path (List.rev !records)
+  | None -> ());
   print_newline ();
   print_endline "bench: all requested sections completed"

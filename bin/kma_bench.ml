@@ -73,6 +73,29 @@ let rate_list_conv =
   in
   Arg.conv (parse, print)
 
+(* Shared --jobs plumbing: sweeps of independent cells fan out over
+   the lib/parallel domain pool.  Validated like the other converters:
+   a zero or negative job count is a usage error at parse time. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+        Error (`Msg (Printf.sprintf "job count %d out of range (want >= 1)" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid job count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_flag =
+  Arg.(
+    value
+    & opt jobs_conv (Parallel.default_jobs ())
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan the sweep's independent cells out over $(docv) domains \
+           (default: the host's recommended domain count).  Results are \
+           bit-identical at any job count.")
+
 let fig7_cmd =
   let cpus =
     Arg.(
@@ -99,8 +122,8 @@ let fig7_cmd =
       & info [ "gnuplot" ] ~docv:"PREFIX"
           ~doc:"Write PREFIX.dat and PREFIX.gp for rendering with gnuplot.")
   in
-  let run cpus iters bytes semilog gnuplot =
-    let points = Experiments.Fig7.run ~cpus ~iters ~bytes () in
+  let run cpus iters bytes semilog gnuplot jobs =
+    let points = Experiments.Fig7.run ~jobs ~cpus ~iters ~bytes () in
     Experiments.Fig7.print_linear points;
     if semilog then Experiments.Fig7.print_semilog points;
     (match gnuplot with
@@ -117,7 +140,7 @@ let fig7_cmd =
   Cmd.v
     (Cmd.info "fig7"
        ~doc:"Best-case pairs/s vs CPUs for all four allocators (Figure 7).")
-    Term.(const run $ cpus $ iters $ bytes $ semilog $ gnuplot)
+    Term.(const run $ cpus $ iters $ bytes $ semilog $ gnuplot $ jobs_flag)
 
 let fig8_cmd =
   let cpus =
@@ -127,13 +150,13 @@ let fig8_cmd =
       & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
   in
   let iters = Arg.(value & opt int 2000 & info [ "iters" ] ~doc:"Pairs/CPU.") in
-  let run cpus iters =
-    let points = Experiments.Fig7.run ~cpus ~iters () in
+  let run cpus iters jobs =
+    let points = Experiments.Fig7.run ~jobs ~cpus ~iters () in
     Experiments.Fig7.print_semilog points
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Same data as fig7 on a semilog scale (Figure 8).")
-    Term.(const run $ cpus $ iters)
+    Term.(const run $ cpus $ iters $ jobs_flag)
 
 let fig9_cmd =
   let which =
@@ -187,10 +210,10 @@ let fig9_cmd =
     Term.(const run $ alloc $ memory $ cap $ gnuplot)
 
 let opcounts_cmd =
-  let run () = Experiments.Opcounts.print (Experiments.Opcounts.run ()) in
+  let run jobs = Experiments.Opcounts.print (Experiments.Opcounts.run ~jobs ()) in
   Cmd.v
     (Cmd.info "opcounts" ~doc:"Warm fast-path instruction counts (E2).")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_flag)
 
 (* Shared --lockcheck plumbing: enable the synchronization validator
    around a workload run and print its report afterwards.  The checker
@@ -358,11 +381,25 @@ let pressure_cmd =
   let seed =
     Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Fault-injection seed.")
   in
-  let run ncpus rounds batch rates seed flightrec lockcheck heapcheck =
+  let run ncpus rounds batch rates seed flightrec lockcheck heapcheck jobs =
+    (* The flight recorder and lockcheck keep host-global state, so
+       their cells cannot fan out; heapcheck shards (domain-local state,
+       deterministic merge) and composes with any job count. *)
+    let jobs =
+      if (flightrec || lockcheck) && jobs > 1 then begin
+        prerr_endline
+          "kma_bench: note: --flight-recorder/--lockcheck keep host-global \
+           state; forcing --jobs 1 (heapcheck shards and is unaffected)";
+        1
+      end
+      else jobs
+    in
     with_heapcheck ~mode:heapcheck (fun () ->
     with_lockcheck ~enabled:lockcheck (fun () ->
     with_flightrec ~enabled:flightrec ~ncpus (fun () ->
-        let r = Experiments.Pressure.run ~ncpus ~rounds ~batch ~rates ~seed () in
+        let r =
+          Experiments.Pressure.run ~jobs ~ncpus ~rounds ~batch ~rates ~seed ()
+        in
         Experiments.Pressure.print r;
         let has x = List.exists (Float.equal x) rates in
         if has 0.0 && has 0.2 then begin
@@ -386,7 +423,7 @@ let pressure_cmd =
           $(b,--heapcheck) verifies heap consistency after each cell.")
     Term.(
       const run $ ncpus $ rounds $ batch $ rates $ seed $ flightrec_flag
-      $ lockcheck_flag $ heapcheck_flag)
+      $ lockcheck_flag $ heapcheck_flag $ jobs_flag)
 
 let fuzz_cmd =
   let ops =
@@ -489,11 +526,11 @@ let crosscpu_cmd =
       value & opt int 2000
       & info [ "blocks" ] ~doc:"Blocks transferred per pair.")
   in
-  let run pairs blocks =
+  let run pairs blocks jobs =
     Experiments.Series.heading
       "Producer/consumer flow through the global layer";
     let rows =
-      List.map
+      Parallel.map ~jobs
         (fun which ->
           let r =
             Workload.Crosscpu.run ~which ~pairs ~blocks_per_pair:blocks ()
@@ -509,7 +546,7 @@ let crosscpu_cmd =
   Cmd.v
     (Cmd.info "crosscpu"
        ~doc:"Cross-CPU producer/consumer throughput (the global layer's job).")
-    Term.(const run $ pairs $ blocks)
+    Term.(const run $ pairs $ blocks $ jobs_flag)
 
 let trace_cmd =
   let ops =

@@ -6,16 +6,18 @@ type point = {
 
 let default_cpus = [ 1; 2; 4; 8; 12; 16; 20; 25 ]
 
-let run ?(whichs = Baseline.Allocator.all) ?(cpus = default_cpus)
+let run ?(jobs = 1) ?(whichs = Baseline.Allocator.all) ?(cpus = default_cpus)
     ?(iters = 2000) ?(bytes = 256) () =
-  List.concat_map
-    (fun which ->
-      List.map
-        (fun ncpus ->
-          let r = Workload.Bestcase.run ~which ~ncpus ~iters ~bytes () in
-          { which; ncpus; pairs_per_sec = r.Workload.Bestcase.pairs_per_sec })
-        cpus)
-    whichs
+  (* Each cell builds its own machine, so the sweep fans out across
+     domains; input order is preserved by Parallel.map, keeping the
+     point list bit-identical to a sequential run. *)
+  Parallel.map ~jobs
+    (fun (which, ncpus) ->
+      let r = Workload.Bestcase.run ~which ~ncpus ~iters ~bytes () in
+      { which; ncpus; pairs_per_sec = r.Workload.Bestcase.pairs_per_sec })
+    (List.concat_map
+       (fun which -> List.map (fun ncpus -> (which, ncpus)) cpus)
+       whichs)
 
 let columns points =
   List.sort_uniq compare (List.map (fun p -> p.which) points)

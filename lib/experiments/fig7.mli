@@ -19,6 +19,7 @@ val default_cpus : int list
     CPUs. *)
 
 val run :
+  ?jobs:int ->
   ?whichs:Baseline.Allocator.which list ->
   ?cpus:int list ->
   ?iters:int ->
@@ -26,7 +27,10 @@ val run :
   unit ->
   point list
 (** [run ()] sweeps every allocator over [cpus], [iters] timed pairs
-    per CPU of [bytes]-byte blocks (default 256). *)
+    per CPU of [bytes]-byte blocks (default 256).  Each
+    (allocator, ncpus) cell is an independent simulation; [jobs]
+    (default 1) fans them out with [Parallel.map] — results are
+    bit-identical at any job count. *)
 
 val print_linear : point list -> unit
 (** Figure 7: rows of pairs/s per CPU count, one column per

@@ -14,13 +14,13 @@ let measure_pair m f_alloc f_free =
   let r2 = Sim.Machine.retired m ~cpu:0 in
   (r1 - r0, r2 - r1)
 
-let run () =
+(* New allocator: cookie and standard interfaces share a machine (the
+   warm state carries from one measurement to the next, as in the
+   paper's warm-path counts). *)
+let kma_rows () =
   let bytes = 256 in
   let rows = ref [] in
-  (* New allocator: cookie and standard interfaces share a machine. *)
-  let m =
-    Sim.Machine.create (Workload.Rig.paper_config ~ncpus:1 ())
-  in
+  let m = Sim.Machine.create (Workload.Rig.paper_config ~ncpus:1 ()) in
   let kmem =
     Kma.Kmem.create m
       ~params:
@@ -53,9 +53,14 @@ let run () =
           }
           :: !rows);
     |];
-  (* MK baseline on its own machine. *)
+  List.rev !rows
+
+(* MK baseline on its own machine. *)
+let mk_rows () =
+  let bytes = 256 in
   let m2 = Sim.Machine.create (Workload.Rig.paper_config ~ncpus:1 ()) in
   let mk = Baseline.Mk.create m2 in
+  let rows = ref [] in
   Sim.Machine.run m2
     [|
       (fun _ ->
@@ -73,6 +78,11 @@ let run () =
           :: !rows);
     |];
   List.rev !rows
+
+let run ?(jobs = 1) () =
+  (* Two independent machines — a two-cell sweep; order is preserved
+     by Parallel.map, so the row list is identical at any job count. *)
+  List.concat (Parallel.map ~jobs (fun f -> f ()) [ kma_rows; mk_rows ])
 
 let print rows =
   Series.heading "Instruction counts (warm fast paths, simulated insns)";

@@ -8,5 +8,9 @@
 
 type row = { interface : string; alloc_insns : int; free_insns : int }
 
-val run : unit -> row list
+val run : ?jobs:int -> unit -> row list
+(** The new-allocator machine and the MK-baseline machine are
+    independent cells; [jobs] (default 1) runs them via [Parallel.map]
+    with bit-identical rows at any job count. *)
+
 val print : row list -> unit

@@ -36,6 +36,7 @@ val default_rates : float list
 (** 0 %, 5 %, 10 %, 20 %, 35 %. *)
 
 val run :
+  ?jobs:int ->
   ?ncpus:int ->
   ?rounds:int ->
   ?batch:int ->
@@ -44,7 +45,11 @@ val run :
   unit ->
   result
 (** [run ()] measures every (allocator, rate) cell on a fresh machine
-    (4 CPUs, 30 rounds of 120 alloc/free pairs per CPU by default). *)
+    (4 CPUs, 30 rounds of 120 alloc/free pairs per CPU by default).
+    [jobs] (default 1) fans the independent cells out with
+    [Parallel.map]; each cell runs under [Heapcheck.shard] and its
+    harvest is absorbed in input order, so both the rows and the
+    checker report are bit-identical at any job count. *)
 
 val print : result -> unit
 

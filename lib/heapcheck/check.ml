@@ -459,20 +459,35 @@ type state = {
   mutable viols : violation list; (* newest first *)
 }
 
-let state : state option ref = ref None
+(* The checker state is domain-local so that lib/parallel can run
+   checker-enabled cells in worker domains without sharing mutable
+   state: each domain sees its own slot.  [armed] is the cross-domain
+   face of [enable]: it publishes the (abort, mode) configuration so
+   {!shard} can install an identically-configured fresh state inside
+   whichever domain runs the cell. *)
+let state_key : state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let armed : (bool * mode) option Atomic.t = Atomic.make None
 
 let enable ?(abort = true) ?(mode = Paranoid) () =
   (match mode with
   | Sweep n when n < 1 -> invalid_arg "Heapcheck.enable: sweep period < 1"
   | _ -> ());
-  state := Some { abort; mode_v = mode; checks = 0; nviol = 0; viols = [] }
+  Atomic.set armed (Some (abort, mode));
+  Domain.DLS.get state_key
+  := Some { abort; mode_v = mode; checks = 0; nviol = 0; viols = [] }
 
-let disable () = state := None
-let on () = match !state with Some _ -> true | None -> false
-let mode () = match !state with Some st -> Some st.mode_v | None -> None
+let disable () =
+  Atomic.set armed None;
+  Domain.DLS.get state_key := None
+
+let state () = !(Domain.DLS.get state_key)
+let on () = match state () with Some _ -> true | None -> false
+let mode () = match state () with Some st -> Some st.mode_v | None -> None
 
 let note (v : violation) =
-  match !state with
+  match state () with
   | None -> ()
   | Some st ->
       st.nviol <- st.nviol + 1;
@@ -487,22 +502,67 @@ let note (v : violation) =
       if st.abort then raise (Violation (rule_name v.rule ^ ": " ^ v.detail))
 
 let checkpoint ?live k =
-  match !state with
+  match state () with
   | None -> ()
   | Some st ->
       st.checks <- st.checks + 1;
       List.iter note (check ?live k)
 
+(* --- sharding: checker-enabled cells in worker domains --- *)
+
+type harvest = { hchecks : int; hviols : violation list (* oldest first *) }
+
+let shard f =
+  match Atomic.get armed with
+  | None -> (f (), None)
+  | Some (abort, mode) ->
+      (* Install a fresh, identically-configured state for this cell in
+         the current domain (saving whatever was there: on the calling
+         domain that is the [enable]d state itself).  Both the jobs:1
+         and the jobs:N path run THIS code, so a cell's checkpoints and
+         violations are gathered identically either way — determinism
+         of the merged report is by construction, not by luck. *)
+      let slot = Domain.DLS.get state_key in
+      let saved = !slot in
+      slot :=
+        Some { abort; mode_v = mode; checks = 0; nviol = 0; viols = [] };
+      let finish () =
+        let st =
+          match !slot with Some st -> st | None -> assert false
+        in
+        slot := saved;
+        { hchecks = st.checks; hviols = List.rev st.viols }
+      in
+      (match f () with
+      | r -> (r, Some (finish ()))
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (finish ());
+          Printexc.raise_with_backtrace e bt)
+
+let absorb = function
+  | None -> ()
+  | Some h -> (
+      match state () with
+      | None -> ()
+      | Some st ->
+          st.checks <- st.checks + h.hchecks;
+          List.iter
+            (fun v ->
+              st.nviol <- st.nviol + 1;
+              st.viols <- v :: st.viols)
+            h.hviols)
+
 let violations () =
-  match !state with
+  match state () with
   | None -> []
   | Some st -> List.rev_map (fun v -> (v.rule, v.detail)) st.viols
 
-let violation_count () = match !state with None -> 0 | Some st -> st.nviol
-let check_count () = match !state with None -> 0 | Some st -> st.checks
+let violation_count () = match state () with None -> 0 | Some st -> st.nviol
+let check_count () = match state () with None -> 0 | Some st -> st.checks
 
 let report () =
-  match !state with
+  match state () with
   | None -> "heapcheck: disabled\n"
   | Some st ->
       let b = Buffer.create 256 in

@@ -84,6 +84,11 @@ val enable : ?abort:bool -> ?mode:mode -> unit -> unit
     discarded).  With [abort = false], violations are recorded and
     emitted as flight-recorder events but do not raise — for drivers
     that want a post-run report rather than a crash.
+
+    The state itself is domain-local (installed in the calling domain);
+    the (abort, mode) configuration is additionally published
+    cross-domain so that {!shard} can arm identically-configured fresh
+    states inside [Parallel.map] worker domains.
     @raise Invalid_argument if [mode] is [Sweep n] with [n < 1]. *)
 
 val disable : unit -> unit
@@ -106,6 +111,35 @@ val checkpoint : ?live:int array -> Kma.Kmem.t -> unit
 (** [checkpoint k] runs {!check} and {!note}s every violation — the
     one-call hook experiment drivers place at quiescent points.  No-op
     while {!on} is false. *)
+
+(** {1 Sharding (checker-enabled cells under [Parallel.map])} *)
+
+type harvest
+(** What one sharded cell's checker saw: its checkpoint count and its
+    violations in the order found. *)
+
+val shard : (unit -> 'a) -> 'a * harvest option
+(** [shard f] runs one experiment cell with a private, fresh checker
+    state in the {e current} domain — safe from any [Parallel.map]
+    worker.  If the checker is enabled (in the driving domain), the
+    fresh state copies its (abort, mode) configuration, [f]'s
+    checkpoints and violations land in it, and the harvest is returned
+    for the driver to {!absorb}; the domain's previous state is
+    restored on the way out, exceptional or not.  If the checker is
+    disabled, [shard f] is just [(f (), None)].
+
+    Because the jobs:1 and jobs:N paths run the same code, absorbing
+    every cell's harvest in input order yields a report bit-identical
+    to a sequential run — the checker analogue of [Parallel.map]'s
+    determinism contract.  With [abort = true] a violation still
+    raises {!Violation} inside the cell; [Parallel.map] re-raises the
+    smallest input index's exception, matching the sequential run. *)
+
+val absorb : harvest option -> unit
+(** [absorb h] merges a {!shard} harvest into the calling domain's
+    enabled state, preserving the cell's violation order.  Drivers call
+    it once per cell, in input order.  No-op on [None] or while {!on}
+    is false. *)
 
 (** {1 Results (host-side)} *)
 

@@ -1,0 +1,47 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* One slot per input element.  Workers claim slots through a shared
+   atomic index (dynamic scheduling: a long cell never makes a short
+   one wait behind it on the same worker) and publish into [results]/
+   [errors]; Domain.join gives the caller happens-before on every
+   slot, so no further synchronization is needed to read them. *)
+let map_parallel ~nworkers f items =
+  let n = Array.length items in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f (Array.unsafe_get items i) with
+        | r -> results.(i) <- Some r
+        | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        go ()
+      end
+    in
+    go ()
+  in
+  let helpers = List.init (nworkers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  (* Deterministic error propagation: the smallest failing index wins,
+     regardless of which domain ran it or when it finished. *)
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> assert false (* every slot ran *))
+       results)
+
+let map ~jobs f xs =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Parallel.map: jobs %d < 1" jobs);
+  let n = List.length xs in
+  (* The sequential path is literally List.map: same evaluation order,
+     same domain, no pool — the bit-identicality baseline. *)
+  if jobs = 1 || n <= 1 then List.map f xs
+  else map_parallel ~nworkers:(min jobs n) f (Array.of_list xs)

@@ -1,0 +1,42 @@
+(** Host-side domain-parallel job pool for the experiment harness.
+
+    Reproduction infrastructure with no direct counterpart in the
+    paper: every figure, sweep and fuzz matrix in this repository is a
+    list of {e independent} deterministic simulations (each cell builds
+    its own [Sim.Machine] and allocator), so the harness fans them out
+    across OCaml 5 domains and merges results in canonical input
+    order.  Parallelism changes only host wall-clock time, never a
+    simulated result: a [jobs:1] run and a [jobs:N] run of the same
+    sweep are bit-identical (enforced by [test/parallel]).
+
+    Scheduling is dynamic (a shared atomic work index, so long cells do
+    not convoy behind short ones) but the {e results} are deterministic:
+    slot [i] of the output always holds [f] applied to element [i] of
+    the input, and when several cells raise, the exception of the
+    smallest input index is the one re-raised.
+
+    Global checker state is the caller's problem, by contract: the
+    flight recorder and {!Lockcheck} keep host-global state, so
+    sections running with those checkers enabled must pass [jobs:1]
+    (the benchmark drivers force this); {!Heapcheck} supports sharding
+    via its [shard]/[absorb] API.  See DESIGN.md "Concurrency
+    invariants". *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1 — the
+    drivers' default for [--jobs]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed by at most [jobs]
+    domains (the calling domain participates; [min jobs (length xs) - 1]
+    helper domains are spawned for the call and joined before it
+    returns).  [jobs:1] degenerates to exactly [List.map f xs] on the
+    calling domain — same evaluation order, no domains spawned.
+
+    [f] must be safe to call from another domain: cells that mutate
+    host-global state (checker installs, global tables) need [jobs:1]
+    or domain-local state.  If any application of [f] raises, the
+    exception (with its backtrace) of the smallest input index is
+    re-raised after all domains are joined.
+
+    @raise Invalid_argument if [jobs < 1]. *)

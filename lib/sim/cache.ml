@@ -13,11 +13,6 @@ type stats = {
   mutable stall_cycles : int;
 }
 
-type entry = { mutable sharers : int; mutable dirty : int }
-(* [sharers] is a bitmask of CPUs holding the line; [dirty] is the CPU
-   holding it modified, or -1.  Invariant: dirty >= 0 implies sharers =
-   just that CPU's bit. *)
-
 type percpu = {
   st : stats;
   fifo : int Queue.t; (* line indices in insertion order; may contain
@@ -26,11 +21,18 @@ type percpu = {
   mutable nresident : int;
 }
 
+(* Line directory as two flat arrays indexed by line number (the
+   address space is small and dense, so a hash table on the
+   per-operation path only added hashing and allocation):
+   [sharers.(l)] is a bitmask of CPUs holding line [l]; [dirty.(l)] is
+   the CPU holding it modified, or -1.  Invariant: dirty >= 0 implies
+   sharers = just that CPU's bit. *)
 type t = {
   cfg : Config.t;
   line_shift : int;
   uncached_base : int; (* addresses at or above this bypass the cache *)
-  lines : (int, entry) Hashtbl.t;
+  sharers : int array;
+  dirty : int array;
   cpus : percpu array;
   mutable trace :
     (cpu:int -> addr:Memory.addr -> kind -> cost:int -> unit) option;
@@ -55,11 +57,13 @@ let log2 n =
   go 0 n
 
 let create (cfg : Config.t) =
+  let nlines = cfg.memory_words / cfg.line_words in
   {
     cfg;
     line_shift = log2 cfg.line_words;
     uncached_base = cfg.memory_words - cfg.uncached_words;
-    lines = Hashtbl.create 4096;
+    sharers = Array.make nlines 0;
+    dirty = Array.make nlines (-1);
     cpus =
       Array.init cfg.ncpus (fun _ ->
           { st = fresh_stats (); fifo = Queue.create (); nresident = 0 });
@@ -71,13 +75,11 @@ let popcount n =
   let rec go acc n = if n = 0 then acc else go (acc + 1) (n land (n - 1)) in
   go 0 n
 
-(* Drop [cpu]'s copy of [line]; removes the entry entirely when the last
-   copy disappears so the table stays proportional to resident lines. *)
-let drop_copy t line entry cpu =
-  entry.sharers <- entry.sharers land lnot (bit cpu);
-  if entry.dirty = cpu then entry.dirty <- -1;
-  t.cpus.(cpu).nresident <- t.cpus.(cpu).nresident - 1;
-  if entry.sharers = 0 then Hashtbl.remove t.lines line
+(* Drop [cpu]'s copy of [line]. *)
+let drop_copy t line cpu =
+  t.sharers.(line) <- t.sharers.(line) land lnot (bit cpu);
+  if t.dirty.(line) = cpu then t.dirty.(line) <- -1;
+  t.cpus.(cpu).nresident <- t.cpus.(cpu).nresident - 1
 
 (* Make room in [cpu]'s cache if bounded and full, FIFO order. *)
 let rec evict_if_full t cpu =
@@ -88,48 +90,45 @@ let rec evict_if_full t cpu =
         (* Resident count says full but the FIFO is empty: impossible by
            construction, but recover rather than loop forever. *)
         pc.nresident <- 0
-    | Some line -> (
-        match Hashtbl.find_opt t.lines line with
-        | Some entry when entry.sharers land bit cpu <> 0 ->
-            drop_copy t line entry cpu;
-            pc.st.evictions <- pc.st.evictions + 1
-        | Some _ | None ->
-            (* Stale FIFO entry: the line was stolen by another CPU's
-               write.  Skip it and keep looking. *)
-            evict_if_full t cpu)
+    | Some line ->
+        if t.sharers.(line) land bit cpu <> 0 then begin
+          drop_copy t line cpu;
+          pc.st.evictions <- pc.st.evictions + 1
+        end
+        else
+          (* Stale FIFO entry: the line was stolen by another CPU's
+             write.  Skip it and keep looking. *)
+          evict_if_full t cpu
   end
 
-let insert_copy t line entry cpu =
-  if entry.sharers land bit cpu = 0 then begin
+let insert_copy t line cpu =
+  if t.sharers.(line) land bit cpu = 0 then begin
     evict_if_full t cpu;
-    entry.sharers <- entry.sharers lor bit cpu;
+    t.sharers.(line) <- t.sharers.(line) lor bit cpu;
     let pc = t.cpus.(cpu) in
     pc.nresident <- pc.nresident + 1;
-    Queue.add line pc.fifo
+    (* The FIFO only feeds eviction; an unbounded cache never evicts,
+       so skip the queue (and its allocation) entirely. *)
+    if t.cfg.cache_lines > 0 then Queue.add line pc.fifo
   end
-
-let find_or_add t line =
-  match Hashtbl.find_opt t.lines line with
-  | Some e -> e
-  | None ->
-      let e = { sharers = 0; dirty = -1 } in
-      Hashtbl.add t.lines line e;
-      e
 
 (* Invalidate every copy other than [cpu]'s; returns how many were
    invalidated. *)
-let invalidate_others t entry cpu =
-  let others = entry.sharers land lnot (bit cpu) in
+let invalidate_others t line cpu =
+  let others = t.sharers.(line) land lnot (bit cpu) in
   if others = 0 then 0
   else begin
     let n = popcount others in
-    for c = 0 to t.cfg.ncpus - 1 do
-      if others land bit c <> 0 then begin
-        entry.sharers <- entry.sharers land lnot (bit c);
-        t.cpus.(c).nresident <- t.cpus.(c).nresident - 1
-      end
+    let rem = ref others in
+    let c = ref 0 in
+    while !rem <> 0 do
+      if !rem land 1 <> 0 then
+        t.cpus.(!c).nresident <- t.cpus.(!c).nresident - 1;
+      rem := !rem lsr 1;
+      incr c
     done;
-    if entry.dirty >= 0 && entry.dirty <> cpu then entry.dirty <- -1;
+    t.sharers.(line) <- t.sharers.(line) land lnot others;
+    if t.dirty.(line) >= 0 && t.dirty.(line) <> cpu then t.dirty.(line) <- -1;
     n
   end
 
@@ -153,9 +152,10 @@ let access t ~cpu a kind =
     cost
   end
   else begin
-  let entry = find_or_add t line in
-  let mine = entry.sharers land bit cpu <> 0 in
-  let dirty_elsewhere = entry.dirty >= 0 && entry.dirty <> cpu in
+  let sharers = Array.unsafe_get t.sharers line in
+  let dirty = Array.unsafe_get t.dirty line in
+  let mine = sharers land bit cpu <> 0 in
+  let dirty_elsewhere = dirty >= 0 && dirty <> cpu in
   let cost =
     match kind with
     | Load ->
@@ -167,20 +167,20 @@ let access t ~cpu a kind =
           (* Cache-to-cache transfer: the owner writes back and both end
              up with shared copies. *)
           st.c2c <- st.c2c + 1;
-          entry.dirty <- -1;
-          insert_copy t line entry cpu;
+          t.dirty.(line) <- -1;
+          insert_copy t line cpu;
           cfg.c2c_cost
         end
         else begin
           st.misses <- st.misses + 1;
-          insert_copy t line entry cpu;
+          insert_copy t line cpu;
           cfg.miss_cost
         end
     | Store | Rmw ->
-        if mine && entry.sharers = bit cpu then begin
+        if mine && sharers = bit cpu then begin
           (* Exclusive or already modified: silent upgrade. *)
           st.hits <- st.hits + 1;
-          entry.dirty <- cpu;
+          t.dirty.(line) <- cpu;
           0
         end
         else begin
@@ -196,14 +196,14 @@ let access t ~cpu a kind =
             end
             else begin
               st.misses <- st.misses + 1;
-              if entry.sharers <> 0 then cfg.upgrade_cost + cfg.miss_cost
+              if sharers <> 0 then cfg.upgrade_cost + cfg.miss_cost
               else cfg.miss_cost
             end
           in
           st.invalidations <-
-            st.invalidations + invalidate_others t entry cpu;
-          insert_copy t line entry cpu;
-          entry.dirty <- cpu;
+            st.invalidations + invalidate_others t line cpu;
+          insert_copy t line cpu;
+          t.dirty.(line) <- cpu;
           fetch_cost
         end
   in
@@ -254,19 +254,16 @@ let set_trace t f = t.trace <- f
 
 let holders t a =
   let line = a lsr t.line_shift in
-  match Hashtbl.find_opt t.lines line with
-  | None -> []
-  | Some e ->
-      let rec go c acc =
-        if c < 0 then acc
-        else go (c - 1) (if e.sharers land bit c <> 0 then c :: acc else acc)
-      in
-      go (t.cfg.ncpus - 1) []
+  let sharers = t.sharers.(line) in
+  let rec go c acc =
+    if c < 0 then acc
+    else go (c - 1) (if sharers land bit c <> 0 then c :: acc else acc)
+  in
+  go (t.cfg.ncpus - 1) []
 
 let dirty_owner t a =
   let line = a lsr t.line_shift in
-  match Hashtbl.find_opt t.lines line with
-  | None -> None
-  | Some e -> if e.dirty >= 0 then Some e.dirty else None
+  let d = t.dirty.(line) in
+  if d >= 0 then Some d else None
 
 let resident t ~cpu = t.cpus.(cpu).nresident

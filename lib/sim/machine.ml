@@ -16,6 +16,11 @@ type op =
 
 type _ Effect.t += Op : op -> int Effect.t
 
+(* A CPU's scheduling state IS the reified step: [Done] means idle,
+   [Next (o, k)] means operation [o] is pending with continuation [k].
+   Storing the step directly (rather than re-wrapping it in a separate
+   state constructor) saves one allocation per simulated operation on
+   the scheduler's hot path. *)
 type step = Done | Next of op * (int, step) Effect.Deep.continuation
 
 type cpu = {
@@ -24,12 +29,8 @@ type cpu = {
   mutable nretired : int;
   mutable irq_off : bool;
   mutable nspins : int;
-  mutable state : state;
+  mutable state : step;
 }
-
-and state =
-  | Idle
-  | Pending of op * (int, step) Effect.Deep.continuation
 
 type t = {
   cfg : Config.t;
@@ -57,7 +58,7 @@ let create (cfg : Config.t) =
             nretired = 0;
             irq_off = false;
             nspins = 0;
-            state = Idle;
+            state = Done;
           });
     bus_free = 0;
   }
@@ -92,19 +93,26 @@ let irq_disabled t ~cpu = t.cpus.(cpu).irq_off
    perturbs the simulated memory order, but host-side state shared
    between programs (allocator adaptation state, fault PRNGs) would see
    a different interleaving — observable as recorder-on runs diverging
-   from recorder-off runs. *)
-let executing : cpu option ref = ref None
+   from recorder-off runs.
 
-let with_executing c f =
-  let saved = !executing in
-  executing := Some c;
-  Fun.protect ~finally:(fun () -> executing := saved) f
+   The slot is domain-local: lib/parallel shards experiment sweeps
+   across domains, each driving its own machine, so a shared slot
+   would let one domain's scheduler clobber another's executing-CPU
+   record mid-resume.  [run] fetches the domain's slot once and
+   threads it through the scheduling loop, keeping DLS lookups off the
+   per-operation path. *)
+let executing_key : cpu option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let running () =
-  match !executing with Some c -> Some (c.id, c.time) | None -> None
+  match !(Domain.DLS.get executing_key) with
+  | Some c -> Some (c.id, c.time)
+  | None -> None
 
 let running_irq_off () =
-  match !executing with Some c -> c.irq_off | None -> false
+  match !(Domain.DLS.get executing_key) with
+  | Some c -> c.irq_off
+  | None -> false
 
 (* Typed operation fronts.  All operations funnel through a single
    int-valued effect so the scheduler needs no existential plumbing. *)
@@ -139,51 +147,67 @@ let reify (f : unit -> unit) : step =
           | _ -> None);
     }
 
-(* Execute [o] on behalf of [c] at its current virtual time.  Returns
-   (result, cost, insns). *)
-let exec t (c : cpu) (o : op) : int * int * int =
+(* A cached memory access on behalf of [c]: cache stall plus bus
+   arbitration.  Top-level (not a closure inside [exec]) so the hot
+   path allocates nothing. *)
+let mem_access t (c : cpu) a kind =
   let cfg = t.cfg in
-  let mem_access a kind =
-    let stall = Cache.access t.cache ~cpu:c.id a kind in
-    let stall =
-      if stall > 0 && cfg.bus_model then begin
-        (* The transfer waits for the bus, then holds it for its
-           request/arbitration phases while the CPU stalls for the full
-           transfer latency. *)
-        let wait = max 0 (t.bus_free - c.time) in
-        let occupancy = max 1 (stall / cfg.bus_occupancy_div) in
-        t.bus_free <- c.time + wait + occupancy;
-        wait + stall
-      end
-      else stall
-    in
-    cfg.insn_cost + stall
+  let stall = Cache.access t.cache ~cpu:c.id a kind in
+  let stall =
+    if stall > 0 && cfg.bus_model then begin
+      (* The transfer waits for the bus, then holds it for its
+         request/arbitration phases while the CPU stalls for the full
+         transfer latency. *)
+      let wait = max 0 (t.bus_free - c.time) in
+      let occupancy = max 1 (stall / cfg.bus_occupancy_div) in
+      t.bus_free <- c.time + wait + occupancy;
+      wait + stall
+    end
+    else stall
   in
+  cfg.insn_cost + stall
+
+(* Execute [o] on behalf of [c] at its current virtual time, charging
+   cycle cost and retired instructions directly onto [c] (no result
+   tuple: this runs once per simulated operation).  Returns the
+   operation's result value. *)
+let exec t (c : cpu) (o : op) : int =
+  let cfg = t.cfg in
   match o with
-  | Read a -> (Memory.get t.memory a, mem_access a Cache.Load, 1)
+  | Read a ->
+      c.time <- c.time + mem_access t c a Cache.Load;
+      c.nretired <- c.nretired + 1;
+      Memory.get t.memory a
   | Write (a, v) ->
-      let cost = mem_access a Cache.Store in
+      c.time <- c.time + mem_access t c a Cache.Store;
+      c.nretired <- c.nretired + 1;
       Memory.set t.memory a v;
-      (0, cost, 1)
+      0
   | Cas (a, expected, desired) ->
-      let cost = mem_access a Cache.Rmw + cfg.rmw_cost in
+      c.time <- c.time + mem_access t c a Cache.Rmw + cfg.rmw_cost;
+      c.nretired <- c.nretired + 1;
       let cur = Memory.get t.memory a in
       if cur = expected then begin
         Memory.set t.memory a desired;
-        (1, cost, 1)
+        1
       end
-      else (0, cost, 1)
+      else 0
   | Faa (a, n) ->
-      let cost = mem_access a Cache.Rmw + cfg.rmw_cost in
+      c.time <- c.time + mem_access t c a Cache.Rmw + cfg.rmw_cost;
+      c.nretired <- c.nretired + 1;
       let old = Memory.get t.memory a in
       Memory.set t.memory a (old + n);
-      (old, cost, 1)
+      old
   | Swap (a, v) ->
-      let cost = mem_access a Cache.Rmw + cfg.rmw_cost in
+      c.time <- c.time + mem_access t c a Cache.Rmw + cfg.rmw_cost;
+      c.nretired <- c.nretired + 1;
       let old = Memory.get t.memory a in
       Memory.set t.memory a v;
-      (old, cost, 1)
-  | Work n -> (0, n * cfg.insn_cost, n)
+      old
+  | Work n ->
+      c.time <- c.time + (n * cfg.insn_cost);
+      c.nretired <- c.nretired + n;
+      0
   | Spin ->
       (* Deterministic pseudo-random jitter.  Without it, a spinning CPU
          can phase-lock with another CPU's periodic lock/unlock pattern
@@ -192,24 +216,37 @@ let exec t (c : cpu) (o : op) : int * int * int =
       c.nspins <- c.nspins + 1;
       let mix = ((c.nspins * 2654435761) + (c.id * 40503)) land max_int in
       let jitter = mix mod ((3 * cfg.spin_cost) + 1) in
-      (0, cfg.spin_cost + jitter, 1)
-  | Cpu_id -> (c.id, 0, 0)
-  | Now -> (c.time, 0, 0)
+      c.time <- c.time + cfg.spin_cost + jitter;
+      c.nretired <- c.nretired + 1;
+      0
+  | Cpu_id -> c.id
+  | Now -> c.time
   | Irq on ->
       c.irq_off <- on;
-      (0, cfg.irq_cost, 1)
+      c.time <- c.time + cfg.irq_cost;
+      c.nretired <- c.nretired + 1;
+      0
 
-let step t (c : cpu) =
+(* Resume [c]'s continuation with the executing-CPU slot [ex] pointing
+   at it; restore on the way out, exceptional or not. *)
+let resume ex (c : cpu) k v : step =
+  let saved = !ex in
+  ex := Some c;
+  match Effect.Deep.continue k v with
+  | s ->
+      ex := saved;
+      s
+  | exception e ->
+      ex := saved;
+      raise e
+
+let step t ex (c : cpu) =
   match c.state with
-  | Idle -> ()
-  | Pending (o, k) ->
-      let result, cost, insns = exec t c o in
-      c.time <- c.time + cost;
-      c.nretired <- c.nretired + insns;
-      c.state <- Idle;
-      (match with_executing c (fun () -> Effect.Deep.continue k result) with
-      | Done -> ()
-      | Next (o', k') -> c.state <- Pending (o', k'))
+  | Done -> ()
+  | Next (o, k) ->
+      let result = exec t c o in
+      c.state <- Done;
+      c.state <- resume ex c k result
 
 let run ?(max_cycles = 0) t progs =
   let n = Array.length progs in
@@ -217,15 +254,28 @@ let run ?(max_cycles = 0) t progs =
     invalid_arg
       (Printf.sprintf "Sim.Machine.run: %d programs for %d CPUs" n
          t.cfg.ncpus);
+  let ex = Domain.DLS.get executing_key in
   (* Launch every program up to its first operation.  The launch itself
      consumes no virtual time. *)
   let live = ref 0 in
   for i = 0 to n - 1 do
     let c = t.cpus.(i) in
-    match with_executing c (fun () -> reify (fun () -> progs.(i) i)) with
+    let prog = progs.(i) in
+    let saved = !ex in
+    ex := Some c;
+    let s =
+      match reify (fun () -> prog i) with
+      | s ->
+          ex := saved;
+          s
+      | exception e ->
+          ex := saved;
+          raise e
+    in
+    match s with
     | Done -> ()
-    | Next (o, k) ->
-        c.state <- Pending (o, k);
+    | Next _ ->
+        c.state <- s;
         incr live
   done;
   (* Discrete-event loop: always advance the pending CPU with the
@@ -236,10 +286,10 @@ let run ?(max_cycles = 0) t progs =
     for i = 0 to n - 1 do
       let c = t.cpus.(i) in
       match c.state with
-      | Pending _ when c.time < !best_time ->
+      | Next _ when c.time < !best_time ->
           best := i;
           best_time := c.time
-      | Pending _ | Idle -> ()
+      | Next _ | Done -> ()
     done;
     !best
   in
@@ -248,11 +298,8 @@ let run ?(max_cycles = 0) t progs =
     if i >= 0 then begin
       let c = t.cpus.(i) in
       if max_cycles > 0 && c.time > max_cycles then raise (Watchdog c.time);
-      let was_pending = match c.state with Pending _ -> true | Idle -> false in
-      step t c;
-      (match c.state with
-      | Idle when was_pending -> decr live
-      | Idle | Pending _ -> ());
+      step t ex c;
+      (match c.state with Done -> decr live | Next _ -> ());
       loop ()
     end
     else if !live > 0 then

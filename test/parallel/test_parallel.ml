@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "parallel"
+    [ ("pool", Test_pool.suite); ("identical", Test_identical.suite) ]

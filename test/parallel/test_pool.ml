@@ -1,0 +1,98 @@
+(* Unit tests for the Parallel.map pool: deterministic result ordering,
+   deterministic exception propagation, and the jobs:1 sequential
+   degeneration the bit-identicality proofs of the paper-reproduction
+   sweeps rest on. *)
+
+exception Boom of int
+
+let test_ordering () =
+  (* Uneven per-cell work so a dynamic scheduler would finish cells out
+     of order; the results must come back in input order regardless. *)
+  let xs = List.init 50 (fun i -> i) in
+  let f i =
+    let spin = if i mod 7 = 0 then 20_000 else 10 in
+    let acc = ref 0 in
+    for k = 1 to spin do
+      acc := !acc + ((i * k) mod 13)
+    done;
+    ignore (Sys.opaque_identity !acc);
+    i * i
+  in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves input order" jobs)
+        expect
+        (Parallel.map ~jobs f xs))
+    [ 1; 2; 3; 8; 64 ]
+
+let test_exception_smallest_index () =
+  (* Several cells raise; whichever domain gets there first, the
+     exception of the smallest input index must win. *)
+  let xs = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let f i = if i mod 3 = 1 then raise (Boom i) else i in
+  List.iter
+    (fun jobs ->
+      match Parallel.map ~jobs f xs with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom i ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d raises the smallest failing index" jobs)
+            1 i)
+    [ 1; 2; 4 ]
+
+let test_jobs1_sequential () =
+  (* jobs:1 must degenerate to List.map on the calling domain: same
+     evaluation order, no helper domains. *)
+  let self = Domain.self () in
+  let order = ref [] in
+  let out =
+    Parallel.map ~jobs:1
+      (fun i ->
+        order := i :: !order;
+        Alcotest.(check bool)
+          "jobs=1 runs on the calling domain" true
+          (Domain.self () = self);
+        i + 100)
+      [ 3; 1; 2 ]
+  in
+  Alcotest.(check (list int)) "results" [ 103; 101; 102 ] out;
+  Alcotest.(check (list int))
+    "left-to-right evaluation" [ 3; 1; 2 ] (List.rev !order)
+
+let test_invalid_jobs () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d rejected" jobs)
+        (Invalid_argument (Printf.sprintf "Parallel.map: jobs %d < 1" jobs))
+        (fun () -> ignore (Parallel.map ~jobs (fun x -> x) [ 1 ])))
+    [ 0; -1 ]
+
+let test_edges () =
+  Alcotest.(check (list int))
+    "empty input" []
+    (Parallel.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int))
+    "singleton" [ 10 ]
+    (Parallel.map ~jobs:4 (fun x -> x * 10) [ 1 ]);
+  Alcotest.(check (list int))
+    "more jobs than items" [ 2; 4; 6 ]
+    (Parallel.map ~jobs:64 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_default_jobs () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Parallel.default_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "input-order results at any job count" `Quick
+      test_ordering;
+    Alcotest.test_case "smallest-index exception wins" `Quick
+      test_exception_smallest_index;
+    Alcotest.test_case "jobs=1 is sequential List.map" `Quick
+      test_jobs1_sequential;
+    Alcotest.test_case "jobs < 1 rejected" `Quick test_invalid_jobs;
+    Alcotest.test_case "edge cases" `Quick test_edges;
+    Alcotest.test_case "default_jobs" `Quick test_default_jobs;
+  ]
