@@ -549,6 +549,31 @@ let bench_pool_domains () =
           "note: this host has one core, so contention effects are muted \
            (the simulated-machine figures above are the scaling result)")
 
+(* --- Scenario library: trace replays + pathology highlights --- *)
+
+(* Host wall time per scenario replay, recorded into BENCH_host.json's
+   "scenarios" array (never printed in the table: the table is
+   simulated data and must stay bit-identical across runs). *)
+let scenario_times : (string * float) list ref = ref []
+
+let bench_scenarios () =
+  wall (fun () ->
+      section "Scenario library (trace replays on the new allocator)";
+      let rows =
+        Experiments.Scenarios.run ~jobs:(effective_jobs ()) ~now:now_s ()
+      in
+      Experiments.Scenarios.print rows;
+      scenario_times :=
+        List.map
+          (fun (r : Experiments.Scenarios.row) ->
+            (r.Experiments.Scenarios.name, r.Experiments.Scenarios.wall_s))
+          rows;
+      (* Pathology analysis replays under the one installed flight
+         recorder, so it runs serially; it is the bench-level proof
+         that each scenario's target detector fires. *)
+      print_newline ();
+      Experiments.Scenarios.print_highlights ())
+
 let sections =
   [
     ("analysis", bench_analysis);
@@ -559,6 +584,7 @@ let sections =
     ("ablation-target", bench_ablation_target);
     ("ablation-pagepolicy", bench_ablation_page_policy);
     ("crosscpu", bench_crosscpu);
+    ("scenarios", bench_scenarios);
     ("roads-not-taken", bench_roads_not_taken);
     ("bechamel", bechamel_suite);
     ("pool-domains", bench_pool_domains);
@@ -578,7 +604,7 @@ let default_sections =
 let parallel_sections =
   [
     "opcounts"; "fig7"; "fig9"; "ablation-target"; "ablation-pagepolicy";
-    "crosscpu"; "roads-not-taken"; "pressure"; "fuzz";
+    "crosscpu"; "scenarios"; "roads-not-taken"; "pressure"; "fuzz";
   ]
 
 let host_json = ref (Some "BENCH_host.json")
@@ -644,6 +670,14 @@ let write_host_json path records =
         speedup
         (if i = List.length records - 1 then "" else ","))
     records;
+  Printf.fprintf oc "  ],\n  \"scenarios\": [\n";
+  let sts = !scenario_times in
+  List.iteri
+    (fun i (name, seconds) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"seconds\": %.3f}%s\n"
+        (json_escape name) seconds
+        (if i = List.length sts - 1 then "" else ","))
+    sts;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc
 

@@ -568,21 +568,21 @@ let trace_cmd =
             Sim.Machine.create (Workload.Rig.paper_config ~ncpus:1 ())
           in
           let a = Baseline.Allocator.create which m in
-          let result = ref None in
-          Sim.Machine.run m
-            [| (fun _ -> result := Some (Workload.Trace.replay t a)) |];
-          let r = Option.get !result in
+          let r = Workload.Trace.replay m t a in
           let cfg = Sim.Machine.config m in
           [
             Baseline.Allocator.name_of which;
             string_of_int r.Workload.Trace.failures;
+            string_of_int r.Workload.Trace.skipped_frees;
             Experiments.Series.sci
               (float_of_int r.Workload.Trace.ops
               /. Sim.Config.seconds_of_cycles cfg r.Workload.Trace.cycles);
           ])
         (Baseline.Allocator.all @ [ Baseline.Allocator.Lazybuddy ])
     in
-    Experiments.Series.table ~header:[ "allocator"; "failures"; "ops/s" ] rows
+    Experiments.Series.table
+      ~header:[ "allocator"; "failures"; "skipped"; "ops/s" ]
+      rows
   in
   Cmd.v
     (Cmd.info "trace"
@@ -590,6 +590,151 @@ let trace_cmd =
          "Synthesize an allocation trace and replay it bit-for-bit on every \
           allocator.")
     Term.(const run $ ops $ seed)
+
+let scenario_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Scenario to replay ($(b,list) or omit to list the library).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~doc:"Override the scenario's default seed.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.
+      & info [ "scale" ] ~docv:"K"
+          ~doc:"Rate scaling: divide recorded inter-arrival gaps by $(docv).")
+  in
+  let cpus =
+    Arg.(
+      value
+      & opt (some cpus_conv) None
+      & info [ "cpus" ] ~docv:"N"
+          ~doc:
+            "Fan the trace out to $(docv) CPUs (must be a multiple of the \
+             scenario's own CPU count; ids are remapped deterministically).")
+  in
+  let windows =
+    Arg.(
+      value & opt int 16
+      & info [ "windows" ]
+          ~doc:"Analysis windows (fragmentation samples) for --report.")
+  in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Replay under the flight recorder and print the full pathology \
+             report instead of the one-line result.")
+  in
+  let list_library () =
+    Experiments.Series.heading "Scenario library";
+    Experiments.Series.table
+      ~header:[ "name"; "cpus"; "seed"; "target pathology"; "summary" ]
+      (List.map
+         (fun (s : Scenario.t) ->
+           [
+             s.Scenario.name;
+             string_of_int s.Scenario.ncpus;
+             string_of_int s.Scenario.default_seed;
+             Option.value s.Scenario.target ~default:"-";
+             s.Scenario.summary;
+           ])
+         Scenario.all)
+  in
+  let run name seed scale cpus windows report heapcheck =
+    match name with
+    | None | Some "list" -> list_library ()
+    | Some n -> (
+        match Scenario.find n with
+        | None ->
+            Printf.eprintf "unknown scenario %S (try: %s)\n" n
+              (String.concat ", " (Scenario.names ()));
+            exit 2
+        | Some sc ->
+            let seed = Option.value seed ~default:sc.Scenario.default_seed in
+            let t = sc.Scenario.generate ~seed in
+            let t =
+              if scale = 1. then t else Workload.Trace.scale_rate ~factor:scale t
+            in
+            let t =
+              match cpus with
+              | None -> t
+              | Some c ->
+                  let base = max 1 (Workload.Trace.ncpus t) in
+                  if c mod base <> 0 then begin
+                    Printf.eprintf
+                      "--cpus %d is not a multiple of the scenario's %d\n" c
+                      base;
+                    exit 2
+                  end;
+                  Workload.Trace.fan_out ~copies:(c / base) t
+            in
+            (match Workload.Trace.validate t with
+            | Ok () -> ()
+            | Error e -> failwith ("scenario trace invalid: " ^ e));
+            with_heapcheck ~mode:heapcheck (fun () ->
+                if report then
+                  print_string
+                    (Scenario.Pathology.to_string
+                       (Scenario.Pathology.analyze ~windows ~name:n t))
+                else begin
+                  let ncpus = max 1 (Workload.Trace.ncpus t) in
+                  let cfg = Workload.Rig.paper_config ~ncpus () in
+                  let m = Sim.Machine.create cfg in
+                  (* newkma booted by hand so --heapcheck can checkpoint
+                     against the kmem handle after the replay. *)
+                  let kmem =
+                    Kma.Kmem.create m
+                      ~params:
+                        (Kma.Params.auto
+                           ~memory_words:cfg.Sim.Config.memory_words)
+                      ()
+                  in
+                  let a =
+                    {
+                      Baseline.Allocator.name = "newkma";
+                      alloc =
+                        (fun ~bytes ->
+                          match Kma.Kmem.try_alloc kmem ~bytes with
+                          | Some addr -> addr
+                          | None -> 0);
+                      free =
+                        (fun ~addr ~bytes -> Kma.Kmem.free kmem ~addr ~bytes);
+                    }
+                  in
+                  let r = Workload.Trace.replay m t a in
+                  Heapcheck.checkpoint kmem;
+                  let cfg = Sim.Machine.config m in
+                  Printf.printf
+                    "scenario %s: seed %d, %d CPUs, %d events -> %d ops (%d \
+                     failed, %d skipped frees) in %d cycles (%s ops/s)\n"
+                    n seed ncpus (List.length t) r.Workload.Trace.ops
+                    r.Workload.Trace.failures r.Workload.Trace.skipped_frees
+                    r.Workload.Trace.cycles
+                    (Experiments.Series.sci
+                       (float_of_int r.Workload.Trace.ops
+                       /. Sim.Config.seconds_of_cycles cfg
+                            r.Workload.Trace.cycles))
+                end))
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Replay a library scenario (production-shaped multi-CPU trace), \
+          optionally scaled with $(b,--scale) / $(b,--cpus); \
+          $(b,--report) prints the pathology analysis with flight-recorder \
+          evidence.")
+    Term.(
+      const run $ name_arg $ seed $ scale $ cpus $ windows $ report
+      $ heapcheck_flag)
 
 let default =
   Term.(
@@ -609,5 +754,5 @@ let () =
           [
             fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
             missrates_cmd; pressure_cmd; fuzz_cmd; cyclic_cmd; crosscpu_cmd;
-            trace_cmd;
+            trace_cmd; scenario_cmd;
           ]))

@@ -1,0 +1,32 @@
+(** Bench section over the scenario library: replay every scenario on
+    the new allocator and tabulate throughput, the trace-driven
+    complement to the paper's synthetic best/worst-case figures.
+
+    Replays are independent cells and fan out over {!Parallel.map};
+    everything printed is simulated-machine data, so the output is
+    bit-identical at any job count.  Host wall time per scenario is
+    returned separately (via the caller's clock) for BENCH_host.json,
+    never printed in the table. *)
+
+type row = {
+  name : string;
+  ncpus : int;
+  events : int;
+  result : Workload.Trace.result;
+  ops_per_sec : float;  (** simulated ops per simulated second *)
+  wall_s : float;  (** host seconds, 0 when no clock was given *)
+}
+
+val run : ?jobs:int -> ?now:(unit -> float) -> unit -> row list
+(** [run ()] replays {!Scenario.all} (default seeds), [jobs]-wide.
+    [now] is the caller's monotonic clock (host seconds); omitted, all
+    [wall_s] are 0. *)
+
+val print : row list -> unit
+(** Deterministic table of the simulated columns. *)
+
+val print_highlights : unit -> unit
+(** For each scenario with a target pathology, run the (serial, flight
+    recorder) {!Scenario.Pathology} analysis and print one line saying
+    whether the target was detected — the bench-level proof that the
+    detectors fire where they should. *)

@@ -37,7 +37,7 @@ type lock_stat = {
   mutable hold_max : int;
 }
 
-let lock_stats events =
+let lock_stats_of_events events =
   let stats : (int, lock_stat) Hashtbl.t = Hashtbl.create 16 in
   (* Last unmatched acquire per (cpu, lock): spinlocks never nest on one
      CPU, so pairing the most recent acquire is exact (up to ring
@@ -85,9 +85,13 @@ let lock_stats events =
     events;
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats [])
 
+(* Public hook: the pathology analyzer in lib/scenario consumes the
+   same per-lock accumulation the report renders, as plain values. *)
+let lock_stats r = lock_stats_of_events (Recorder.events r)
+
 let pp_locks ppf r events =
   Format.fprintf ppf "-- lock contention --@,";
-  match lock_stats events with
+  match lock_stats_of_events events with
   | [] -> Format.fprintf ppf "(no lock events recorded)@,"
   | stats ->
       table ppf

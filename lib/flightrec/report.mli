@@ -27,3 +27,24 @@ val pp : ?buckets:int -> Format.formatter -> Recorder.t -> unit
     timeline resolution. *)
 
 val to_string : ?buckets:int -> Recorder.t -> string
+
+(** {1 Analysis hooks}
+
+    The same per-lock accumulation the report renders, exposed as
+    values so downstream analyzers (the scenario pathology detector)
+    reason over it instead of re-parsing report text. *)
+
+type lock_stat = private {
+  mutable acquires : int;
+  mutable contended : int;  (** acquires that had to spin *)
+  mutable spins : int;
+  mutable spins_max : int;
+  mutable holds : int;  (** paired acquire/release samples *)
+  mutable hold_total : int;
+  mutable hold_max : int;
+}
+
+val lock_stats : Recorder.t -> (int * lock_stat) list
+(** [lock_stats r] is the contention accumulation per lock word
+    address, ascending by address (deterministic for a deterministic
+    run); resolve names with {!Recorder.lock_name}. *)

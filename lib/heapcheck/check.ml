@@ -597,3 +597,79 @@ let report () =
           Printf.bprintf b "  [%s] %s\n" (rule_name v.rule) v.detail)
         (List.rev st.viols);
       Buffer.contents b
+
+(* --- fragmentation sampling --- *)
+
+(* The same page-descriptor walk the span-state rule performs, reduced
+   to the counts a fragmentation curve needs.  Defensive like the
+   checker proper: an impossible span length degrades to a one-page
+   step instead of raising, so sampling a corrupt heap still returns. *)
+
+type frag = {
+  granted_pages : int;
+  split_pages : int;
+  span_pages : int;
+  free_span_pages : int;
+  free_blocks : int;
+  free_bytes : int;
+}
+
+let fragmentation (k : Kma.Kmem.t) =
+  let ctx : Kma.Ctx.t = k in
+  let mem = Kma.Ctx.memory ctx in
+  let ly = ctx.Kma.Ctx.layout in
+  let p = Kma.Ctx.params ctx in
+  let nsizes = ly.Kma.Layout.nsizes in
+  let ncpus = ly.Kma.Layout.ncpus in
+  let split = ref 0 and span = ref 0 and free_span = ref 0 in
+  for v = 0 to Kma.Vmblk.nvmblks_oracle ctx - 1 do
+    let vb = Kma.Layout.vmblk_addr ly ~index:v in
+    let dp = ref 0 in
+    while !dp < ly.Kma.Layout.data_pages do
+      let pd = Kma.Layout.pd_addr ly ~vmblk:vb ~data_page:!dp in
+      let st = Memory.get mem (pd + Kma.Vmblk.pd_state) in
+      let adv =
+        if st = Kma.Vmblk.st_free_head then begin
+          let len = Memory.get mem (pd + Kma.Vmblk.pd_arg) in
+          let len =
+            if len < 1 || !dp + len > ly.Kma.Layout.data_pages then 1 else len
+          in
+          free_span := !free_span + len;
+          len
+        end
+        else if st = Kma.Vmblk.st_split then begin
+          incr split;
+          1
+        end
+        else if st = Kma.Vmblk.st_span_alloc then begin
+          let n = Memory.get mem (pd + Kma.Vmblk.pd_arg) in
+          let n =
+            if n < 1 || !dp + n > ly.Kma.Layout.data_pages then 1 else n
+          in
+          span := !span + n;
+          n
+        end
+        else 1
+      in
+      dp := !dp + adv
+    done
+  done;
+  let free_blocks = ref 0 and free_bytes = ref 0 in
+  for si = 0 to nsizes - 1 do
+    let n = ref 0 in
+    for cpu = 0 to ncpus - 1 do
+      n := !n + Kma.Percpu.cached_blocks_oracle ctx ~cpu ~si
+    done;
+    n := !n + Kma.Global.total_blocks_oracle ctx ~si;
+    n := !n + Kma.Pagepool.free_blocks_oracle ctx ~si;
+    free_blocks := !free_blocks + !n;
+    free_bytes := !free_bytes + (!n * p.Kma.Params.sizes_bytes.(si))
+  done;
+  {
+    granted_pages = Kma.Kmem.granted_pages_oracle k;
+    split_pages = !split;
+    span_pages = !span;
+    free_span_pages = !free_span;
+    free_blocks = !free_blocks;
+    free_bytes = !free_bytes;
+  }

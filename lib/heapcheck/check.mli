@@ -69,6 +69,33 @@ val check : ?live:int array -> Kma.Kmem.t -> violation list
     ([free <= capacity]) to an exact equation.  Pure and host-side:
     no simulated cycles, no writes, never raises on corrupt data. *)
 
+(** {1 Fragmentation sampling} *)
+
+(** One fragmentation sample: how the pages granted by the VM system
+    are spent at a quiescent point.  [split_pages] are carved into
+    small blocks for some size class, [span_pages] sit inside
+    allocated large spans, [free_span_pages] are coalesced and ready to
+    return; [free_blocks]/[free_bytes] total the small blocks cached on
+    any freelist (per-CPU, global, or page layer).  A fragmentation
+    curve compares [granted_pages] against the workload's live bytes
+    over time: pages held while the live set shrinks is the
+    fragmentation blow-up the paper's coalesce-to-page layer exists to
+    prevent. *)
+type frag = {
+  granted_pages : int;
+  split_pages : int;
+  span_pages : int;
+  free_span_pages : int;
+  free_blocks : int;
+  free_bytes : int;
+}
+
+val fragmentation : Kma.Kmem.t -> frag
+(** [fragmentation k] is one sample, taken with the same host-side
+    page-descriptor walk as {!check} (uncharged reads, no writes, no
+    simulated cycles; quiescent points only, like {!check}).  Never
+    raises on corrupt data. *)
+
 (** {1 Lifecycle (the {!Lockcheck} enable/on/report idiom)} *)
 
 exception Violation of string

@@ -1,5 +1,15 @@
-type event = Alloc of { id : int; bytes : int } | Free of { id : int }
+type event =
+  | Alloc of { cpu : int; gap : int; id : int; bytes : int }
+  | Free of { cpu : int; gap : int; id : int }
+
 type t = event list
+
+let v2_header = "kma-trace v2"
+let cpu_of = function Alloc { cpu; _ } | Free { cpu; _ } -> cpu
+let gap_of = function Alloc { gap; _ } | Free { gap; _ } -> gap
+let id_of = function Alloc { id; _ } | Free { id; _ } -> id
+
+let ncpus t = 1 + List.fold_left (fun m e -> max m (cpu_of e)) 0 t
 
 let default_mix =
   [|
@@ -8,24 +18,30 @@ let default_mix =
   |]
 
 let synthesize ?(seed = 13) ?(live_window = 64) ?(size_mix = default_mix)
-    ~ops () =
+    ?(ncpus = 1) ?(mean_gap = 0) ~ops () =
+  if ncpus < 1 then invalid_arg "Workload.Trace.synthesize: ncpus < 1";
+  if mean_gap < 0 then invalid_arg "Workload.Trace.synthesize: mean_gap < 0";
   let rng = Prng.create ~seed in
   let live = ref [] in
   let nlive = ref 0 in
   let next_id = ref 0 in
   let events = ref [] in
+  let cpu () = if ncpus = 1 then 0 else Prng.int rng ~bound:ncpus in
+  let gap () = if mean_gap = 0 then 0 else Prng.int rng ~bound:((2 * mean_gap) + 1) in
   for _ = 1 to ops do
     if
       !nlive >= live_window
       || (!nlive > 0 && Prng.int rng ~bound:100 < 40)
     then begin
       (* Free a pseudo-random live id (not always the newest, so the
-         trace exercises out-of-order frees). *)
+         trace exercises out-of-order frees); the freeing CPU is drawn
+         independently of the allocating one, so multi-CPU traces
+         naturally contain cross-CPU frees. *)
       let n = Prng.int rng ~bound:!nlive in
       let id = List.nth !live n in
       live := List.filter (fun x -> x <> id) !live;
       decr nlive;
-      events := Free { id } :: !events
+      events := Free { cpu = cpu (); gap = gap (); id } :: !events
     end
     else begin
       let id = !next_id in
@@ -33,10 +49,12 @@ let synthesize ?(seed = 13) ?(live_window = 64) ?(size_mix = default_mix)
       let bytes = Prng.weighted rng size_mix in
       live := id :: !live;
       incr nlive;
-      events := Alloc { id; bytes } :: !events
+      events := Alloc { cpu = cpu (); gap = gap (); id; bytes } :: !events
     end
   done;
-  List.iter (fun id -> events := Free { id } :: !events) !live;
+  List.iter
+    (fun id -> events := Free { cpu = cpu (); gap = 0; id } :: !events)
+    !live;
   List.rev !events
 
 let validate t =
@@ -46,18 +64,22 @@ let validate t =
     | [] ->
         if Hashtbl.length live = 0 then Ok ()
         else Error (Printf.sprintf "%d ids never freed" (Hashtbl.length live))
-    | Alloc { id; bytes } :: rest ->
+    | Alloc { cpu; gap; id; bytes } :: rest ->
         if Hashtbl.mem seen id then
           Error (Printf.sprintf "id %d allocated twice" id)
         else if bytes <= 0 then Error (Printf.sprintf "id %d: bytes <= 0" id)
+        else if cpu < 0 then Error (Printf.sprintf "id %d: cpu < 0" id)
+        else if gap < 0 then Error (Printf.sprintf "id %d: gap < 0" id)
         else begin
           Hashtbl.add seen id ();
           Hashtbl.add live id ();
           go rest
         end
-    | Free { id } :: rest ->
+    | Free { cpu; gap; id } :: rest ->
         if not (Hashtbl.mem live id) then
           Error (Printf.sprintf "id %d freed while not live" id)
+        else if cpu < 0 then Error (Printf.sprintf "free of id %d: cpu < 0" id)
+        else if gap < 0 then Error (Printf.sprintf "free of id %d: gap < 0" id)
         else begin
           Hashtbl.remove live id;
           go rest
@@ -67,87 +89,352 @@ let validate t =
 
 let to_string t =
   let b = Buffer.create 1024 in
+  Buffer.add_string b v2_header;
+  Buffer.add_char b '\n';
   List.iter
     (fun e ->
       match e with
-      | Alloc { id; bytes } -> Buffer.add_string b (Printf.sprintf "a %d %d\n" id bytes)
-      | Free { id } -> Buffer.add_string b (Printf.sprintf "f %d\n" id))
+      | Alloc { cpu; gap; id; bytes } ->
+          Buffer.add_string b (Printf.sprintf "a %d %d %d %d\n" cpu gap id bytes)
+      | Free { cpu; gap; id } ->
+          Buffer.add_string b (Printf.sprintf "f %d %d %d\n" cpu gap id))
     t;
   Buffer.contents b
 
+(* Strict parser: exact token arity per line (anything extra is
+   trailing garbage), integer fields only, sizes must be positive, and
+   an id may be allocated only once in the whole trace.  Every error
+   names its line. *)
 let of_string s =
   let lines = String.split_on_char '\n' s in
-  let rec go acc n = function
+  let seen = Hashtbl.create 64 in
+  let err n fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" n m)) fmt in
+  let int_field n what tok k =
+    match int_of_string_opt tok with
+    | Some v -> k v
+    | None -> err n "%s %S is not an integer" what tok
+  in
+  let nonneg n what v k =
+    if v < 0 then err n "%s %d is negative" what v else k ()
+  in
+  let parse_alloc n ~cpu ~gap ~id ~bytes acc rest go =
+    int_field n "cpu" cpu @@ fun cpu ->
+    int_field n "gap" gap @@ fun gap ->
+    int_field n "id" id @@ fun id ->
+    int_field n "bytes" bytes @@ fun bytes ->
+    nonneg n "cpu" cpu @@ fun () ->
+    nonneg n "gap" gap @@ fun () ->
+    if bytes <= 0 then err n "non-positive size %d for id %d" bytes id
+    else if Hashtbl.mem seen id then err n "id %d allocated twice" id
+    else begin
+      Hashtbl.add seen id ();
+      go (Alloc { cpu; gap; id; bytes } :: acc) (n + 1) rest
+    end
+  in
+  let parse_free n ~cpu ~gap ~id acc rest go =
+    int_field n "cpu" cpu @@ fun cpu ->
+    int_field n "gap" gap @@ fun gap ->
+    int_field n "id" id @@ fun id ->
+    nonneg n "cpu" cpu @@ fun () ->
+    nonneg n "gap" gap @@ fun () ->
+    go (Free { cpu; gap; id } :: acc) (n + 1) rest
+  in
+  let rec go_v2 acc n = function
     | [] -> Ok (List.rev acc)
-    | "" :: rest -> go acc (n + 1) rest
+    | "" :: rest -> go_v2 acc (n + 1) rest
     | line :: rest -> (
         match String.split_on_char ' ' line with
-        | [ "a"; id; bytes ] -> (
-            match (int_of_string_opt id, int_of_string_opt bytes) with
-            | Some id, Some bytes -> go (Alloc { id; bytes } :: acc) (n + 1) rest
-            | _ -> Error (Printf.sprintf "line %d: bad alloc" n))
-        | [ "f"; id ] -> (
-            match int_of_string_opt id with
-            | Some id -> go (Free { id } :: acc) (n + 1) rest
-            | None -> Error (Printf.sprintf "line %d: bad free" n))
-        | _ -> Error (Printf.sprintf "line %d: unparseable %S" n line))
+        | [ "a"; cpu; gap; id; bytes ] ->
+            parse_alloc n ~cpu ~gap ~id ~bytes acc rest go_v2
+        | [ "f"; cpu; gap; id ] -> parse_free n ~cpu ~gap ~id acc rest go_v2
+        | ("a" | "f") :: _ :: _ :: _ :: _ :: _ ->
+            err n "trailing garbage in %S" line
+        | _ -> err n "unparseable %S" line)
   in
-  go [] 1 lines
+  (* Legacy v1 lines ([a <id> <bytes>] / [f <id>], no header): parsed as
+     single-CPU events with zero gaps, same strictness otherwise. *)
+  let rec go_v1 acc n = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go_v1 acc (n + 1) rest
+    | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ "a"; id; bytes ] ->
+            parse_alloc n ~cpu:"0" ~gap:"0" ~id ~bytes acc rest go_v1
+        | [ "f"; id ] -> parse_free n ~cpu:"0" ~gap:"0" ~id acc rest go_v1
+        | ("a" | "f") :: _ :: _ :: _ -> err n "trailing garbage in %S" line
+        | _ -> err n "unparseable %S" line)
+  in
+  let rec dispatch n = function
+    | [] -> Ok []
+    | "" :: rest -> dispatch (n + 1) rest
+    | first :: rest when first = v2_header -> go_v2 [] (n + 1) rest
+    | first :: _ when String.length first >= 9 && String.sub first 0 9 = "kma-trace"
+      ->
+        err n "unknown trace version %S (want %S)" first v2_header
+    | lines -> go_v1 [] n lines
+  in
+  dispatch 1 lines
 
-type result = { ops : int; failures : int; cycles : int }
+(* --- scaling transforms --- *)
 
-let replay t (a : Baseline.Allocator.t) =
-  let addr_of = Hashtbl.create 256 in
-  let bytes_of = Hashtbl.create 256 in
-  let failures = ref 0 in
-  let ops = ref 0 in
-  let t0 = Sim.Machine.now () in
-  List.iter
-    (fun e ->
-      incr ops;
-      match e with
-      | Alloc { id; bytes } ->
-          let addr = a.Baseline.Allocator.alloc ~bytes in
-          if addr = 0 then incr failures
-          else begin
-            Hashtbl.replace addr_of id addr;
-            Hashtbl.replace bytes_of id bytes
-          end
-      | Free { id } -> (
-          match Hashtbl.find_opt addr_of id with
-          | Some addr ->
-              a.Baseline.Allocator.free ~addr
-                ~bytes:(Hashtbl.find bytes_of id);
-              Hashtbl.remove addr_of id
-          | None -> () (* its allocation failed: skip *)))
-    t;
-  { ops = !ops; failures = !failures; cycles = Sim.Machine.now () - t0 }
+let scale_rate ~factor t =
+  if not (factor > 0.) then
+    invalid_arg "Workload.Trace.scale_rate: factor must be > 0";
+  let scale gap =
+    if gap = 0 then 0 else max 0 (int_of_float (float_of_int gap /. factor))
+  in
+  List.map
+    (function
+      | Alloc a -> Alloc { a with gap = scale a.gap }
+      | Free f -> Free { f with gap = scale f.gap })
+    t
+
+let fan_out ~copies t =
+  if copies < 1 then invalid_arg "Workload.Trace.fan_out: copies < 1";
+  if copies = 1 then t
+  else begin
+    let base = ncpus t in
+    List.concat_map
+      (fun e ->
+        List.init copies (fun c ->
+            match e with
+            | Alloc { cpu; gap; id; bytes } ->
+                Alloc
+                  { cpu = cpu + (c * base); gap; id = (id * copies) + c; bytes }
+            | Free { cpu; gap; id } ->
+                Free { cpu = cpu + (c * base); gap; id = (id * copies) + c }))
+      t
+  end
+
+let skew_frees ?(seed = 7) ~fraction t =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Workload.Trace.skew_frees: fraction must be in [0, 1]";
+  let n = ncpus t in
+  if n < 2 || fraction = 0. then t
+  else begin
+    let rng = Prng.create ~seed in
+    let threshold = int_of_float (fraction *. 10_000.) in
+    List.map
+      (function
+        | Alloc _ as e -> e
+        | Free f as e ->
+            (* Draw in a fixed order so the transform is deterministic
+               regardless of which frees end up moved. *)
+            let roll = Prng.int rng ~bound:10_000 in
+            let hop = 1 + Prng.int rng ~bound:(n - 1) in
+            if roll < threshold then Free { f with cpu = (f.cpu + hop) mod n }
+            else e)
+      t
+  end
+
+(* --- replay --- *)
+
+type result = { ops : int; failures : int; skipped_frees : int; cycles : int }
+
+type session = {
+  machine : Sim.Machine.t;
+  a : Baseline.Allocator.t;
+  s_ncpus : int;
+  mutable rest : t;
+  addr_of : (int, int) Hashtbl.t;
+  bytes_of : (int, int) Hashtbl.t;
+  failed : (int, unit) Hashtbl.t;
+  freed : (int, unit) Hashtbl.t;
+  scheduled : (int, unit) Hashtbl.t;
+      (* alloc ids issued to some already-run (or running) window: a
+         free may legitimately wait only for these *)
+  mutable s_ops : int;
+  mutable s_failures : int;
+  mutable s_skipped : int;
+  mutable s_live_bytes : int;
+  t0 : int;
+}
+
+let start machine a t =
+  let n = ncpus t in
+  let avail = (Sim.Machine.config machine).Sim.Config.ncpus in
+  if n > avail then
+    invalid_arg
+      (Printf.sprintf
+         "Workload.Trace.start: trace uses %d CPUs but the machine has %d" n
+         avail);
+  {
+    machine;
+    a;
+    s_ncpus = n;
+    rest = t;
+    addr_of = Hashtbl.create 256;
+    bytes_of = Hashtbl.create 256;
+    failed = Hashtbl.create 16;
+    freed = Hashtbl.create 256;
+    scheduled = Hashtbl.create 256;
+    s_ops = 0;
+    s_failures = 0;
+    s_skipped = 0;
+    s_live_bytes = 0;
+    t0 = Sim.Machine.elapsed machine;
+  }
+
+let live_bytes s = s.s_live_bytes
+
+let exec s ~on_op e =
+  let open Sim in
+  (match gap_of e with 0 -> () | gap -> Machine.work gap);
+  match e with
+  | Alloc { cpu; id; bytes; _ } ->
+      let t0 = Machine.now () in
+      let addr = s.a.Baseline.Allocator.alloc ~bytes in
+      let t1 = Machine.now () in
+      if addr = 0 then begin
+        s.s_failures <- s.s_failures + 1;
+        Hashtbl.replace s.failed id ()
+      end
+      else begin
+        Hashtbl.replace s.addr_of id addr;
+        Hashtbl.replace s.bytes_of id bytes;
+        s.s_live_bytes <- s.s_live_bytes + bytes
+      end;
+      s.s_ops <- s.s_ops + 1;
+      on_op ~cpu ~alloc:true ~latency:(t1 - t0)
+  | Free { cpu; id; _ } ->
+      (* Wait for the allocating CPU to publish the address: the
+         replayed handoff of a cross-CPU free.  Spin-waiting charges
+         cycles the same way a real consumer polling for work would. *)
+      let rec wait () =
+        match Hashtbl.find_opt s.addr_of id with
+        | Some addr ->
+            let t0 = Machine.now () in
+            s.a.Baseline.Allocator.free ~addr
+              ~bytes:(Hashtbl.find s.bytes_of id);
+            let t1 = Machine.now () in
+            s.s_live_bytes <- s.s_live_bytes - Hashtbl.find s.bytes_of id;
+            Hashtbl.remove s.addr_of id;
+            Hashtbl.remove s.bytes_of id;
+            Hashtbl.replace s.freed id ();
+            s.s_ops <- s.s_ops + 1;
+            on_op ~cpu ~alloc:false ~latency:(t1 - t0)
+        | None ->
+            if
+              Hashtbl.mem s.failed id
+              || Hashtbl.mem s.freed id
+              || not (Hashtbl.mem s.scheduled id)
+            then begin
+              (* Denied allocation (or a malformed trace): the free has
+                 nothing to release.  Counted, never silent. *)
+              s.s_ops <- s.s_ops + 1;
+              s.s_skipped <- s.s_skipped + 1
+            end
+            else begin
+              Machine.spin_pause ();
+              wait ()
+            end
+      in
+      wait ()
+
+let no_op ~cpu:_ ~alloc:_ ~latency:_ = ()
+
+let rec take_window n acc = function
+  | rest when n = 0 -> (List.rev acc, rest)
+  | [] -> (List.rev acc, [])
+  | e :: rest -> take_window (n - 1) (e :: acc) rest
+
+let step ?(on_op = no_op) s n =
+  if n < 1 then invalid_arg "Workload.Trace.step: window < 1";
+  match s.rest with
+  | [] -> false
+  | _ ->
+      let window, rest = take_window n [] s.rest in
+      s.rest <- rest;
+      List.iter
+        (function
+          | Alloc { id; _ } -> Hashtbl.replace s.scheduled id ()
+          | Free _ -> ())
+        window;
+      let per_cpu = Array.make s.s_ncpus [] in
+      List.iter
+        (fun e ->
+          let c = cpu_of e in
+          per_cpu.(c) <- e :: per_cpu.(c))
+        window;
+      let per_cpu = Array.map List.rev per_cpu in
+      Sim.Machine.run s.machine
+        (Array.init s.s_ncpus (fun c _ ->
+             List.iter (exec s ~on_op) per_cpu.(c)));
+      s.rest <> []
+
+let finish s =
+  {
+    ops = s.s_ops;
+    failures = s.s_failures;
+    skipped_frees = s.s_skipped;
+    cycles = Sim.Machine.elapsed s.machine - s.t0;
+  }
+
+let replay ?on_op machine t (a : Baseline.Allocator.t) =
+  match t with
+  | [] ->
+      ignore (start machine a t);
+      { ops = 0; failures = 0; skipped_frees = 0; cycles = 0 }
+  | _ ->
+      let s = start machine a t in
+      let all = List.length t in
+      ignore (step ?on_op s all);
+      finish s
+
+(* --- recording --- *)
 
 let record (a : Baseline.Allocator.t) f =
   let events = ref [] in
   let next_id = ref 0 in
   let id_of = Hashtbl.create 256 in
+  let last_end : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* Anchor the calling CPU's clock so its first recorded gap measures
+     think time from the start of recording rather than zero — without
+     it a replay would drop any work charged before the first op and
+     the bit-identical-cycles property (test/scenario) would not hold. *)
+  (match Sim.Machine.running () with
+  | Some (cpu, t) -> Hashtbl.replace last_end cpu t
+  | None -> ());
+  (* Host-side observation via [Machine.running]: reading the emitting
+     CPU and its clock this way adds no operation and so cannot perturb
+     the recorded run (the flight-recorder idiom). *)
+  let here () =
+    match Sim.Machine.running () with Some (cpu, t) -> (cpu, t) | None -> (0, 0)
+  in
+  let gap_at cpu t =
+    match Hashtbl.find_opt last_end cpu with
+    | Some e -> max 0 (t - e)
+    | None -> 0
+  in
   let wrapped =
     {
       Baseline.Allocator.name = a.Baseline.Allocator.name ^ "+trace";
       alloc =
         (fun ~bytes ->
+          let cpu, t = here () in
+          let gap = gap_at cpu t in
           let addr = a.Baseline.Allocator.alloc ~bytes in
+          let cpu', t' = here () in
+          Hashtbl.replace last_end cpu' t';
           if addr <> 0 then begin
             let id = !next_id in
             incr next_id;
             Hashtbl.replace id_of addr id;
-            events := Alloc { id; bytes } :: !events
+            events := Alloc { cpu; gap; id; bytes } :: !events
           end;
           addr);
       free =
         (fun ~addr ~bytes ->
+          let cpu, t = here () in
+          let gap = gap_at cpu t in
           (match Hashtbl.find_opt id_of addr with
           | Some id ->
               Hashtbl.remove id_of addr;
-              events := Free { id } :: !events
+              events := Free { cpu; gap; id } :: !events
           | None -> ());
-          a.Baseline.Allocator.free ~addr ~bytes);
+          a.Baseline.Allocator.free ~addr ~bytes;
+          let cpu', t' = here () in
+          Hashtbl.replace last_end cpu' t');
     }
   in
   f wrapped;

@@ -24,8 +24,17 @@ let test_synthesize_deterministic () =
   Alcotest.(check bool) "same seed" true (a = b);
   Alcotest.(check bool) "different seed" true (a <> c)
 
+let test_synthesize_multicpu () =
+  let t = Workload.Trace.synthesize ~ops:400 ~ncpus:4 ~mean_gap:6 () in
+  (match Workload.Trace.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "uses several CPUs" true (Workload.Trace.ncpus t > 1);
+  Alcotest.(check bool) "has nonzero gaps" true
+    (List.exists (fun e -> Workload.Trace.gap_of e > 0) t)
+
 let test_serialise_roundtrip () =
-  let t = Workload.Trace.synthesize ~ops:300 () in
+  let t = Workload.Trace.synthesize ~ops:300 ~ncpus:3 ~mean_gap:4 () in
   match Workload.Trace.of_string (Workload.Trace.to_string t) with
   | Ok t' -> Alcotest.(check bool) "roundtrip" true (t = t')
   | Error e -> Alcotest.fail e
@@ -40,16 +49,20 @@ let test_of_string_rejects_garbage () =
 
 let test_validate_catches () =
   let open Workload.Trace in
-  (match validate [ Free { id = 0 } ] with
+  (match validate [ Free { cpu = 0; gap = 0; id = 0 } ] with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "free of dead id accepted");
-  (match validate [ Alloc { id = 0; bytes = 16 } ] with
+  (match validate [ Alloc { cpu = 0; gap = 0; id = 0; bytes = 16 } ] with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "leak accepted");
   match
     validate
-      [ Alloc { id = 0; bytes = 16 }; Alloc { id = 0; bytes = 16 };
-        Free { id = 0 }; Free { id = 0 } ]
+      [
+        Alloc { cpu = 0; gap = 0; id = 0; bytes = 16 };
+        Alloc { cpu = 0; gap = 0; id = 0; bytes = 16 };
+        Free { cpu = 0; gap = 0; id = 0 };
+        Free { cpu = 0; gap = 0; id = 0 };
+      ]
   with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "double id accepted"
@@ -60,10 +73,13 @@ let test_replay_all_allocators () =
     (fun which ->
       let m = machine () in
       let a = Baseline.Allocator.create which m in
-      let r = on_cpu m (fun () -> Workload.Trace.replay t a) in
+      let r = Workload.Trace.replay m t a in
       Alcotest.(check int)
         (Baseline.Allocator.name_of which ^ ": no failures")
         0 r.Workload.Trace.failures;
+      Alcotest.(check int)
+        (Baseline.Allocator.name_of which ^ ": no skipped frees")
+        0 r.Workload.Trace.skipped_frees;
       Alcotest.(check bool) "cycles advanced" true (r.Workload.Trace.cycles > 0))
     (Baseline.Allocator.all @ [ Baseline.Allocator.Lazybuddy ])
 
@@ -99,7 +115,7 @@ let test_record_then_replay () =
   | Error e -> Alcotest.fail ("recorded trace invalid: " ^ e));
   let m2 = machine () in
   let oldkma = Baseline.Allocator.create Baseline.Allocator.Oldkma m2 in
-  let r = on_cpu m2 (fun () -> Workload.Trace.replay trace oldkma) in
+  let r = Workload.Trace.replay m2 trace oldkma in
   Alcotest.(check int) "replays on oldkma" 0 r.Workload.Trace.failures
 
 let test_replay_determinism () =
@@ -107,7 +123,7 @@ let test_replay_determinism () =
   let run () =
     let m = machine () in
     let a = Baseline.Allocator.create Baseline.Allocator.Newkma m in
-    (on_cpu m (fun () -> Workload.Trace.replay t a)).Workload.Trace.cycles
+    (Workload.Trace.replay m t a).Workload.Trace.cycles
   in
   Alcotest.(check int) "cycle-exact reruns" (run ()) (run ())
 
@@ -117,6 +133,8 @@ let suite =
       test_synthesize_valid;
     Alcotest.test_case "synthesis deterministic by seed" `Quick
       test_synthesize_deterministic;
+    Alcotest.test_case "multi-CPU synthesis with gaps" `Quick
+      test_synthesize_multicpu;
     Alcotest.test_case "serialise roundtrip" `Quick test_serialise_roundtrip;
     Alcotest.test_case "parser rejects garbage" `Quick
       test_of_string_rejects_garbage;

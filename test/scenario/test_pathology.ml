@@ -1,0 +1,86 @@
+(* Pathology detection: the target scenarios provably trigger their
+   pathology with flight-recorder evidence, best-case traffic stays
+   clean, and reports are byte-identical across reruns. *)
+
+let analyze name =
+  let s = Option.get (Scenario.find name) in
+  Scenario.Pathology.analyze ~name
+    (s.Scenario.generate ~seed:s.Scenario.default_seed)
+
+let has_pathology (r : Scenario.Pathology.report) p =
+  List.exists
+    (fun (f : Scenario.Pathology.finding) -> f.Scenario.Pathology.pathology = p)
+    r.Scenario.Pathology.findings
+
+let test_steady_clean () =
+  let r = analyze "steady" in
+  Alcotest.(check int) "no findings" 0
+    (List.length r.Scenario.Pathology.findings);
+  Alcotest.(check bool) "latency percentiles measured" true
+    (r.Scenario.Pathology.alloc_lat.Scenario.Pathology.count > 0)
+
+let test_rpc_clean () =
+  let r = analyze "rpc" in
+  Alcotest.(check int) "no findings" 0
+    (List.length r.Scenario.Pathology.findings)
+
+let test_producer_consumer_convoy () =
+  let r = analyze "producer_consumer" in
+  Alcotest.(check bool) "lock-convoy detected" true
+    (has_pathology r "lock-convoy");
+  let f =
+    List.find
+      (fun (f : Scenario.Pathology.finding) ->
+        f.Scenario.Pathology.pathology = "lock-convoy")
+      r.Scenario.Pathology.findings
+  in
+  Alcotest.(check bool) "finding cites flightrec events" true
+    (List.exists
+       (fun e ->
+         (* rendered Event.pp lines start with "[<time>] cpu<n>" *)
+         String.length e > 0 && e.[0] = '[')
+       f.Scenario.Pathology.evidence)
+
+let test_frag_adversary_fragmentation () =
+  let r = analyze "frag_adversary" in
+  Alcotest.(check bool) "fragmentation detected" true
+    (has_pathology r "fragmentation");
+  (* The curve must show the blow-up: some post-warmup sample holding
+     at least 4x more page bytes than live bytes. *)
+  Alcotest.(check bool) "curve records the blow-up" true
+    (List.exists
+       (fun (p : Scenario.Pathology.frag_point) ->
+         p.Scenario.Pathology.live_bytes > 0
+         && p.Scenario.Pathology.held_over_live >= 4.)
+       r.Scenario.Pathology.frag_curve)
+
+let test_bursty_latency_tail () =
+  let r = analyze "bursty" in
+  Alcotest.(check bool) "latency-tail detected" true
+    (has_pathology r "latency-tail")
+
+let test_report_byte_identical () =
+  let a = Scenario.Pathology.to_string (analyze "producer_consumer") in
+  let b = Scenario.Pathology.to_string (analyze "producer_consumer") in
+  Alcotest.(check string) "same seed, byte-identical report" a b
+
+let test_windows_validated () =
+  match Scenario.Pathology.analyze ~windows:0 ~name:"x" [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "windows=0 accepted"
+
+let suite =
+  [
+    Alcotest.test_case "steady stays clean" `Quick test_steady_clean;
+    Alcotest.test_case "rpc stays clean" `Quick test_rpc_clean;
+    Alcotest.test_case "producer_consumer triggers lock-convoy" `Quick
+      test_producer_consumer_convoy;
+    Alcotest.test_case "frag_adversary triggers fragmentation" `Quick
+      test_frag_adversary_fragmentation;
+    Alcotest.test_case "bursty triggers latency-tail" `Quick
+      test_bursty_latency_tail;
+    Alcotest.test_case "reports are byte-identical" `Quick
+      test_report_byte_identical;
+    Alcotest.test_case "windows argument validated" `Quick
+      test_windows_validated;
+  ]
