@@ -574,6 +574,13 @@ let bench_scenarios () =
       print_newline ();
       Experiments.Scenarios.print_highlights ())
 
+(* --- E12: cache-geometry sweep --- *)
+
+let bench_geometry () =
+  wall (fun () ->
+      let rows = Experiments.Geomsweep.run ~jobs:(effective_jobs ()) () in
+      Experiments.Geomsweep.print rows)
+
 let sections =
   [
     ("analysis", bench_analysis);
@@ -581,6 +588,7 @@ let sections =
     ("fig7", bench_fig7);
     ("fig9", bench_fig9);
     ("missrates", bench_missrates);
+    ("geometry", bench_geometry);
     ("ablation-target", bench_ablation_target);
     ("ablation-pagepolicy", bench_ablation_page_policy);
     ("crosscpu", bench_crosscpu);
@@ -603,8 +611,9 @@ let default_sections =
    host microbenchmarks) — the only ones --compare-jobs1 re-times. *)
 let parallel_sections =
   [
-    "opcounts"; "fig7"; "fig9"; "ablation-target"; "ablation-pagepolicy";
-    "crosscpu"; "scenarios"; "roads-not-taken"; "pressure"; "fuzz";
+    "opcounts"; "fig7"; "fig9"; "geometry"; "ablation-target";
+    "ablation-pagepolicy"; "crosscpu"; "scenarios"; "roads-not-taken";
+    "pressure"; "fuzz";
   ]
 
 let host_json = ref (Some "BENCH_host.json")
@@ -649,9 +658,16 @@ let json_escape s =
 let write_host_json path records =
   let oc = open_out path in
   let total = List.fold_left (fun a r -> a +. r.seconds) 0. records in
-  Printf.fprintf oc "{\n  \"host_cores\": %d,\n  \"jobs\": %d,\n"
+  Printf.fprintf oc
+    "{\n\
+    \  \"host_cores\": %d,\n\
+    \  \"recommended_domains\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"geometry\": \"%s\",\n"
+    (Parallel.host_cores ())
     (Domain.recommended_domain_count ())
-    !jobs;
+    !jobs
+    (json_escape (Sim.Geometry.to_string (Sim.Geometry.ambient ())));
   Printf.fprintf oc "  \"total_seconds\": %.3f,\n  \"sections\": [\n" total;
   List.iteri
     (fun i r ->
@@ -689,7 +705,22 @@ let set_jobs v =
         v;
       exit 2
 
+(* A bad spec is a usage error: report and exit 2 before any section
+   runs, so a typo cannot silently benchmark the default geometry. *)
+let set_geometry spec =
+  match Sim.Geometry.of_string spec with
+  | Ok g -> Sim.Geometry.set_ambient g
+  | Error msg ->
+      Printf.eprintf "bench: bad --geometry: %s\n" msg;
+      exit 2
+
 let () =
+  (* KMA_GEOMETRY first, so an explicit --geometry flag wins. *)
+  (match Sim.Geometry.of_env () with
+  | Ok g -> Sim.Geometry.set_ambient g
+  | Error msg ->
+      Printf.eprintf "bench: bad %s: %s\n" Sim.Geometry.env_var msg;
+      exit 2);
   let rec parse args names =
     match args with
     | [] -> List.rev names
@@ -719,6 +750,16 @@ let () =
         exit 2
     | "--compare-jobs1" :: rest ->
         compare_jobs1 := true;
+        parse rest names
+    | "--geometry" :: spec :: rest ->
+        set_geometry spec;
+        parse rest names
+    | [ "--geometry" ] ->
+        prerr_endline "bench: --geometry needs a spec (key=value,...)";
+        exit 2
+    | arg :: rest
+      when String.length arg > 11 && String.sub arg 0 11 = "--geometry=" ->
+        set_geometry (String.sub arg 11 (String.length arg - 11));
         parse rest names
     | arg :: rest
       when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->

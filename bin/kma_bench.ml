@@ -96,6 +96,34 @@ let jobs_flag =
            (default: the host's recommended domain count).  Results are \
            bit-identical at any job count.")
 
+(* Shared --geometry plumbing: the flag overrides whatever the
+   KMA_GEOMETRY environment variable installed at startup.  Parse
+   errors are usage errors at the cmdliner layer (non-zero exit before
+   any simulation runs). *)
+let geometry_conv =
+  let parse s =
+    match Sim.Geometry.of_string s with
+    | Ok g -> Ok g
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf g = Format.pp_print_string ppf (Sim.Geometry.to_string g) in
+  Arg.conv (parse, print)
+
+let geometry_flag =
+  Arg.(
+    value
+    & opt (some geometry_conv) None
+    & info [ "geometry" ] ~docv:"SPEC"
+        ~doc:
+          "Cache geometry and cost model for the simulated machine, as a \
+           comma-separated key=value list over the recorded-results \
+           default (keys: line, lines, assoc, insn, miss, c2c, upgrade, \
+           rmw).  Overrides the $(b,KMA_GEOMETRY) environment variable.")
+
+let with_geometry g f =
+  (match g with Some g -> Sim.Geometry.set_ambient g | None -> ());
+  f ()
+
 let fig7_cmd =
   let cpus =
     Arg.(
@@ -122,7 +150,8 @@ let fig7_cmd =
       & info [ "gnuplot" ] ~docv:"PREFIX"
           ~doc:"Write PREFIX.dat and PREFIX.gp for rendering with gnuplot.")
   in
-  let run cpus iters bytes semilog gnuplot jobs =
+  let run geometry cpus iters bytes semilog gnuplot jobs =
+    with_geometry geometry @@ fun () ->
     let points = Experiments.Fig7.run ~jobs ~cpus ~iters ~bytes () in
     Experiments.Fig7.print_linear points;
     if semilog then Experiments.Fig7.print_semilog points;
@@ -140,7 +169,9 @@ let fig7_cmd =
   Cmd.v
     (Cmd.info "fig7"
        ~doc:"Best-case pairs/s vs CPUs for all four allocators (Figure 7).")
-    Term.(const run $ cpus $ iters $ bytes $ semilog $ gnuplot $ jobs_flag)
+    Term.(
+      const run $ geometry_flag $ cpus $ iters $ bytes $ semilog $ gnuplot
+      $ jobs_flag)
 
 let fig8_cmd =
   let cpus =
@@ -338,7 +369,8 @@ let missrates_cmd =
       value & opt int 3000
       & info [ "transactions" ] ~doc:"Transactions per CPU.")
   in
-  let run ncpus txs flightrec lockcheck heapcheck =
+  let run geometry ncpus txs flightrec lockcheck heapcheck =
+    with_geometry geometry @@ fun () ->
     with_heapcheck ~mode:heapcheck (fun () ->
         with_lockcheck ~enabled:lockcheck (fun () ->
             with_flightrec ~enabled:flightrec ~ncpus (fun () ->
@@ -358,8 +390,8 @@ let missrates_cmd =
           $(b,--lockcheck) validates the synchronization discipline; \
           $(b,--heapcheck) verifies heap consistency after the run.")
     Term.(
-      const run $ ncpus $ txs $ flightrec_flag $ lockcheck_flag
-      $ heapcheck_flag)
+      const run $ geometry_flag $ ncpus $ txs $ flightrec_flag
+      $ lockcheck_flag $ heapcheck_flag)
 
 let pressure_cmd =
   let ncpus = Arg.(value & opt cpus_conv 4 & info [ "cpus" ] ~doc:"CPUs.") in
@@ -736,12 +768,54 @@ let scenario_cmd =
       const run $ name_arg $ seed $ scale $ cpus $ windows $ report
       $ heapcheck_flag)
 
+let geometry_cmd =
+  let ncpus =
+    Arg.(value & opt cpus_conv 8 & info [ "cpus" ] ~doc:"CPUs per cell.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 50
+      & info [ "iters" ] ~doc:"Timed bursts per CPU per cell.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 96
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Burst size: blocks held live at once per CPU.  The default \
+             overflows the smaller geometries, which is what makes the \
+             line-size axis informative.")
+  in
+  let bytes =
+    Arg.(value & opt int 256 & info [ "bytes" ] ~doc:"Block size.")
+  in
+  let run geometry ncpus iters depth bytes jobs =
+    with_geometry geometry @@ fun () ->
+    Experiments.Geomsweep.print ~ncpus ~depth
+      (Experiments.Geomsweep.run ~jobs ~ncpus ~iters ~depth ~bytes ())
+  in
+  Cmd.v
+    (Cmd.info "geometry"
+       ~doc:
+         "Cache-geometry sweep (E12): miss rate and cycles per \
+          alloc/write/free pair vs line size and associativity, newkma vs \
+          cookie.  $(b,--geometry) here sets the $(i,base) cost model the \
+          sweep varies line size and associativity around.")
+    Term.(
+      const run $ geometry_flag $ ncpus $ iters $ depth $ bytes $ jobs_flag)
+
 let default =
   Term.(
     ret
       (const (fun () -> `Help (`Pager, None)) $ const ()))
 
 let () =
+  (* KMA_GEOMETRY first, so an explicit --geometry flag wins. *)
+  (match Sim.Geometry.of_env () with
+  | Ok g -> Sim.Geometry.set_ambient g
+  | Error msg ->
+      Printf.eprintf "kma_bench: bad %s: %s\n" Sim.Geometry.env_var msg;
+      exit 2);
   let info =
     Cmd.info "kma_bench" ~version:"1.0"
       ~doc:
@@ -753,6 +827,6 @@ let () =
        (Cmd.group ~default info
           [
             fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
-            missrates_cmd; pressure_cmd; fuzz_cmd; cyclic_cmd; crosscpu_cmd;
-            trace_cmd; scenario_cmd;
+            missrates_cmd; geometry_cmd; pressure_cmd; fuzz_cmd; cyclic_cmd;
+            crosscpu_cmd; trace_cmd; scenario_cmd;
           ]))

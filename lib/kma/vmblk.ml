@@ -18,9 +18,14 @@ let st_split = 3
 let st_span_alloc = 4
 let st_span_mid = 5
 
-(* vmctl control-word offsets (after the lock line). *)
-let ctl_span_head (ly : Layout.t) = ly.Layout.vmctl_base + 8
-let ctl_nvmblks (ly : Layout.t) = ly.Layout.vmctl_base + 9
+(* vmctl control-word offsets (after the lock line).  The skip must
+   track the configured line size: with a hardcoded 8 a narrower line
+   (e.g. [--geometry line=4]) shrinks the 2-line vmctl region and these
+   words would land on the dope vector, corrupting the first vmblk's
+   dope entry.  At the default 8-word line this is byte-for-byte the
+   historical layout. *)
+let ctl_span_head (ly : Layout.t) = ly.Layout.vmctl_base + ly.Layout.line_words
+let ctl_nvmblks (ly : Layout.t) = ctl_span_head ly + 1
 
 let boot_init (ctx : Ctx.t) =
   let mem = Ctx.memory ctx in

@@ -1,4 +1,40 @@
-let default_jobs () = max 1 (Domain.recommended_domain_count ())
+(* Physical cores per /proc/cpuinfo (Linux); 0 when unreadable.  Used
+   only to clamp the default fan-out — [Domain.recommended_domain_count]
+   can exceed the truth in containers with inflated cpusets, and
+   spawning more simulator domains than cores just adds scheduler
+   thrash to every cell's wall time. *)
+let host_cores () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 9 && String.sub line 0 9 = "processor" then
+             incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !n
+
+let clamp_noted = ref false
+
+let default_jobs () =
+  let recommended = max 1 (Domain.recommended_domain_count ()) in
+  match host_cores () with
+  | 0 -> recommended
+  | cores when cores < recommended ->
+      if not !clamp_noted then begin
+        clamp_noted := true;
+        Printf.eprintf
+          "note: clamping default --jobs to %d (host has %d cores; \
+           recommended_domain_count says %d)\n\
+           %!"
+          cores cores recommended
+      end;
+      cores
+  | _ -> recommended
 
 (* One slot per input element.  Workers claim slots through a shared
    atomic index (dynamic scheduling: a long cell never makes a short

@@ -22,9 +22,19 @@
     via its [shard]/[absorb] API.  See DESIGN.md "Concurrency
     invariants". *)
 
+val host_cores : unit -> int
+(** Number of logical processors per [/proc/cpuinfo], or [0] when that
+    file is unreadable (non-Linux hosts).  Informational; used by the
+    drivers' host records and by {!default_jobs}. *)
+
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()], clamped to at least 1 — the
-    drivers' default for [--jobs]. *)
+(** The drivers' default for [--jobs]:
+    [min (Domain.recommended_domain_count ()) (host_cores ())], clamped
+    to at least 1, falling back to the recommended count alone when
+    {!host_cores} is unknown.  The first time the clamp actually
+    lowers the value a one-line note is printed to stderr, so a run
+    whose parallelism surprised you is self-explaining.  An explicit
+    [--jobs N] bypasses this entirely. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed by at most [jobs]

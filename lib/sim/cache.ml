@@ -13,11 +13,60 @@ type stats = {
   mutable stall_cycles : int;
 }
 
+(* Insertion-order queue of line indices, one per cache set, as a
+   chunked deque.  Replaces the Queue.t (allocation per push) and the
+   growable ring (unbounded doubling copies) of earlier revisions: a
+   contended line is re-inserted on every steal while eviction may
+   never run, so the queue grows with the steal count and any
+   copy-on-grow scheme pays O(n) again and again.  Chunks are pushed
+   at the tail and garbage-collected as the head drains; entries for
+   lines since stolen by another CPU are skipped lazily at eviction
+   time, which is why the queue can transiently hold more than [ways]
+   entries. *)
+type chunk = { data : int array; mutable next : chunk option }
+
+let chunk_words = 4096
+
+type fifo = {
+  mutable head : chunk;
+  mutable head_idx : int;
+  mutable tail : chunk;
+  mutable tail_idx : int;
+  mutable len : int;
+}
+
+let fifo_create () =
+  let c = { data = Array.make chunk_words 0; next = None } in
+  { head = c; head_idx = 0; tail = c; tail_idx = 0; len = 0 }
+
+let fifo_push f x =
+  if f.tail_idx = chunk_words then begin
+    let c = { data = Array.make chunk_words 0; next = None } in
+    f.tail.next <- Some c;
+    f.tail <- c;
+    f.tail_idx <- 0
+  end;
+  Array.unsafe_set f.tail.data f.tail_idx x;
+  f.tail_idx <- f.tail_idx + 1;
+  f.len <- f.len + 1
+
+(* Pop the oldest entry; the caller checks [len > 0]. *)
+let fifo_pop f =
+  if f.head_idx = chunk_words then begin
+    (match f.head.next with
+    | Some c -> f.head <- c
+    | None -> assert false);
+    f.head_idx <- 0
+  end;
+  let x = Array.unsafe_get f.head.data f.head_idx in
+  f.head_idx <- f.head_idx + 1;
+  f.len <- f.len - 1;
+  x
+
 type percpu = {
   st : stats;
-  fifo : int Queue.t; (* line indices in insertion order; may contain
-                         lines since stolen by another CPU (skipped
-                         lazily at eviction time) *)
+  fifos : fifo array; (* one insertion-order ring per set *)
+  set_nres : int array; (* resident lines per set *)
   mutable nresident : int;
 }
 
@@ -30,6 +79,9 @@ type percpu = {
 type t = {
   cfg : Config.t;
   line_shift : int;
+  set_mask : int; (* line land set_mask = the line's set index *)
+  set_capacity : int; (* resident lines allowed per set (ways, or the
+                         whole cache when fully associative) *)
   uncached_base : int; (* addresses at or above this bypass the cache *)
   sharers : int array;
   dirty : int array;
@@ -58,58 +110,93 @@ let log2 n =
 
 let create (cfg : Config.t) =
   let nlines = cfg.memory_words / cfg.line_words in
+  (* ways = 0 is the fully-associative paper-era default: one set, one
+     FIFO over the whole cache.  Geometry validation guarantees a
+     power-of-two set count otherwise. *)
+  let nsets = if cfg.ways = 0 then 1 else cfg.cache_lines / cfg.ways in
+  let set_capacity = if cfg.ways = 0 then cfg.cache_lines else cfg.ways in
   {
     cfg;
     line_shift = log2 cfg.line_words;
+    set_mask = nsets - 1;
+    set_capacity;
     uncached_base = cfg.memory_words - cfg.uncached_words;
     sharers = Array.make nlines 0;
     dirty = Array.make nlines (-1);
     cpus =
       Array.init cfg.ncpus (fun _ ->
-          { st = fresh_stats (); fifo = Queue.create (); nresident = 0 });
+          {
+            st = fresh_stats ();
+            fifos = Array.init nsets (fun _ -> fifo_create ());
+            set_nres = Array.make nsets 0;
+            nresident = 0;
+          });
     trace = None;
   }
 
 let bit cpu = 1 lsl cpu
-let popcount n =
-  let rec go acc n = if n = 0 then acc else go (acc + 1) (n land (n - 1)) in
-  go 0 n
+(* Index of the lowest set bit, by binary search (no ctz instruction
+   from OCaml): 6 compares instead of a shift-and-test walk over all
+   lower bit positions. *)
+let[@inline] lsb_index b =
+  let i = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin i := 32; b := !b lsr 32 end;
+  if !b land 0xFFFF = 0 then begin i := !i + 16; b := !b lsr 16 end;
+  if !b land 0xFF = 0 then begin i := !i + 8; b := !b lsr 8 end;
+  if !b land 0xF = 0 then begin i := !i + 4; b := !b lsr 4 end;
+  if !b land 0x3 = 0 then begin i := !i + 2; b := !b lsr 2 end;
+  if !b land 0x1 = 0 then incr i;
+  !i
 
 (* Drop [cpu]'s copy of [line]. *)
+(* [line] and the set index are in bounds by construction ([line] was
+   derived from an address the caller has already accessed through
+   [t.sharers]; sets are [line land set_mask]), so the per-access hot
+   path below uses unchecked accesses throughout. *)
 let drop_copy t line cpu =
-  t.sharers.(line) <- t.sharers.(line) land lnot (bit cpu);
-  if t.dirty.(line) = cpu then t.dirty.(line) <- -1;
-  t.cpus.(cpu).nresident <- t.cpus.(cpu).nresident - 1
+  Array.unsafe_set t.sharers line
+    (Array.unsafe_get t.sharers line land lnot (bit cpu));
+  if Array.unsafe_get t.dirty line = cpu then Array.unsafe_set t.dirty line (-1);
+  let pc = Array.unsafe_get t.cpus cpu in
+  pc.nresident <- pc.nresident - 1;
+  let s = line land t.set_mask in
+  Array.unsafe_set pc.set_nres s (Array.unsafe_get pc.set_nres s - 1)
 
-(* Make room in [cpu]'s cache if bounded and full, FIFO order. *)
-let rec evict_if_full t cpu =
-  let pc = t.cpus.(cpu) in
-  if t.cfg.cache_lines > 0 && pc.nresident >= t.cfg.cache_lines then begin
-    match Queue.take_opt pc.fifo with
-    | None ->
-        (* Resident count says full but the FIFO is empty: impossible by
-           construction, but recover rather than loop forever. *)
-        pc.nresident <- 0
-    | Some line ->
-        if t.sharers.(line) land bit cpu <> 0 then begin
-          drop_copy t line cpu;
-          pc.st.evictions <- pc.st.evictions + 1
-        end
-        else
-          (* Stale FIFO entry: the line was stolen by another CPU's
-             write.  Skip it and keep looking. *)
-          evict_if_full t cpu
+(* Make room in [cpu]'s target set if bounded and full, FIFO order. *)
+let rec evict_if_full t cpu set =
+  let pc = Array.unsafe_get t.cpus cpu in
+  if t.cfg.cache_lines > 0 && Array.unsafe_get pc.set_nres set >= t.set_capacity
+  then begin
+    let f = Array.unsafe_get pc.fifos set in
+    if f.len = 0 then
+      (* Resident count says full but the FIFO is empty: impossible by
+         construction, but recover rather than loop forever. *)
+      Array.unsafe_set pc.set_nres set 0
+    else begin
+      let line = fifo_pop f in
+      if Array.unsafe_get t.sharers line land bit cpu <> 0 then begin
+        drop_copy t line cpu;
+        pc.st.evictions <- pc.st.evictions + 1
+      end
+      else
+        (* Stale FIFO entry: the line was stolen by another CPU's
+           write.  Skip it and keep looking. *)
+        evict_if_full t cpu set
+    end
   end
 
 let insert_copy t line cpu =
-  if t.sharers.(line) land bit cpu = 0 then begin
-    evict_if_full t cpu;
-    t.sharers.(line) <- t.sharers.(line) lor bit cpu;
-    let pc = t.cpus.(cpu) in
+  if Array.unsafe_get t.sharers line land bit cpu = 0 then begin
+    let set = line land t.set_mask in
+    evict_if_full t cpu set;
+    Array.unsafe_set t.sharers line
+      (Array.unsafe_get t.sharers line lor bit cpu);
+    let pc = Array.unsafe_get t.cpus cpu in
     pc.nresident <- pc.nresident + 1;
+    Array.unsafe_set pc.set_nres set (Array.unsafe_get pc.set_nres set + 1);
     (* The FIFO only feeds eviction; an unbounded cache never evicts,
-       so skip the queue (and its allocation) entirely. *)
-    if t.cfg.cache_lines > 0 then Queue.add line pc.fifo
+       so skip the ring entirely. *)
+    if t.cfg.cache_lines > 0 then fifo_push (Array.unsafe_get pc.fifos set) line
   end
 
 (* Invalidate every copy other than [cpu]'s; returns how many were
@@ -118,18 +205,24 @@ let invalidate_others t line cpu =
   let others = t.sharers.(line) land lnot (bit cpu) in
   if others = 0 then 0
   else begin
-    let n = popcount others in
+    (* Iterate set bits directly: a contended line typically has one
+       other holder, so this loops once where a position-by-position
+       walk visits every lower bit. *)
+    let set = line land t.set_mask in
+    let n = ref 0 in
     let rem = ref others in
-    let c = ref 0 in
     while !rem <> 0 do
-      if !rem land 1 <> 0 then
-        t.cpus.(!c).nresident <- t.cpus.(!c).nresident - 1;
-      rem := !rem lsr 1;
-      incr c
+      let pc = Array.unsafe_get t.cpus (lsb_index (!rem land - !rem)) in
+      pc.nresident <- pc.nresident - 1;
+      Array.unsafe_set pc.set_nres set (Array.unsafe_get pc.set_nres set - 1);
+      incr n;
+      rem := !rem land (!rem - 1)
     done;
-    t.sharers.(line) <- t.sharers.(line) land lnot others;
-    if t.dirty.(line) >= 0 && t.dirty.(line) <> cpu then t.dirty.(line) <- -1;
-    n
+    Array.unsafe_set t.sharers line
+      (Array.unsafe_get t.sharers line land lnot others);
+    if Array.unsafe_get t.dirty line >= 0 && Array.unsafe_get t.dirty line <> cpu
+    then Array.unsafe_set t.dirty line (-1);
+    !n
   end
 
 let access t ~cpu a kind =
@@ -167,7 +260,7 @@ let access t ~cpu a kind =
           (* Cache-to-cache transfer: the owner writes back and both end
              up with shared copies. *)
           st.c2c <- st.c2c + 1;
-          t.dirty.(line) <- -1;
+          Array.unsafe_set t.dirty line (-1);
           insert_copy t line cpu;
           cfg.c2c_cost
         end
@@ -180,7 +273,7 @@ let access t ~cpu a kind =
         if mine && sharers = bit cpu then begin
           (* Exclusive or already modified: silent upgrade. *)
           st.hits <- st.hits + 1;
-          t.dirty.(line) <- cpu;
+          Array.unsafe_set t.dirty line cpu;
           0
         end
         else begin
@@ -203,7 +296,7 @@ let access t ~cpu a kind =
           st.invalidations <-
             st.invalidations + invalidate_others t line cpu;
           insert_copy t line cpu;
-          t.dirty.(line) <- cpu;
+          Array.unsafe_set t.dirty line cpu;
           fetch_cost
         end
   in

@@ -1,5 +1,14 @@
 (** MESI-style cache-coherence cost model.
 
+    This is the simulated stand-in for the Symmetry's hardware caches:
+    the paper's cache-profile analysis (Design section, "Analysis of
+    Memory-Allocator Cache Profile") attributes the allocators'
+    performance gap almost entirely to which accesses miss and who
+    services them, and this module is where those misses are decided
+    and priced.  Geometry and costs come from {!Config} (ultimately
+    {!Geometry}), so the paper's informal "what if the cache were
+    shaped differently" arguments are runnable (experiment E12).
+
     The model tracks, for every cache line, which CPUs hold a copy and
     which CPU (if any) holds it modified.  Exclusive and Shared are
     collapsed into one state with the Exclusive optimisation preserved: a

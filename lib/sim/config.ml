@@ -3,6 +3,7 @@ type t = {
   memory_words : int;
   line_words : int;
   cache_lines : int;
+  ways : int;
   insn_cost : int;
   miss_cost : int;
   c2c_cost : int;
@@ -17,22 +18,26 @@ type t = {
   mhz : int;
 }
 
-let is_power_of_two n = n > 0 && n land (n - 1) = 0
+let geometry t =
+  {
+    Geometry.line_words = t.line_words;
+    cache_lines = t.cache_lines;
+    ways = t.ways;
+    insn_cost = t.insn_cost;
+    miss_cost = t.miss_cost;
+    c2c_cost = t.c2c_cost;
+    upgrade_cost = t.upgrade_cost;
+    rmw_cost = t.rmw_cost;
+  }
 
 let validate t =
   let check cond msg = if not cond then invalid_arg ("Sim.Config: " ^ msg) in
   check (t.ncpus >= 1 && t.ncpus <= 64) "ncpus must be in [1, 64]";
-  check (is_power_of_two t.line_words) "line_words must be a power of two";
+  Geometry.validate (geometry t);
   check (t.memory_words > 0) "memory_words must be positive";
   check
     (t.memory_words mod t.line_words = 0)
     "memory_words must be a multiple of line_words";
-  check (t.cache_lines >= 0) "cache_lines must be non-negative";
-  check (t.insn_cost >= 0) "insn_cost must be non-negative";
-  check (t.miss_cost >= 0) "miss_cost must be non-negative";
-  check (t.c2c_cost >= 0) "c2c_cost must be non-negative";
-  check (t.upgrade_cost >= 0) "upgrade_cost must be non-negative";
-  check (t.rmw_cost >= 0) "rmw_cost must be non-negative";
   check (t.irq_cost >= 0) "irq_cost must be non-negative";
   check (t.spin_cost >= 1) "spin_cost must be at least 1";
   check
@@ -46,13 +51,14 @@ let default =
   {
     ncpus = 4;
     memory_words = 4 * 1024 * 1024;
-    line_words = 8;
-    cache_lines = 256;
-    insn_cost = 1;
-    miss_cost = 30;
-    c2c_cost = 50;
-    upgrade_cost = 20;
-    rmw_cost = 12;
+    line_words = Geometry.default.Geometry.line_words;
+    cache_lines = Geometry.default.Geometry.cache_lines;
+    ways = Geometry.default.Geometry.ways;
+    insn_cost = Geometry.default.Geometry.insn_cost;
+    miss_cost = Geometry.default.Geometry.miss_cost;
+    c2c_cost = Geometry.default.Geometry.c2c_cost;
+    upgrade_cost = Geometry.default.Geometry.upgrade_cost;
+    rmw_cost = Geometry.default.Geometry.rmw_cost;
     irq_cost = 4;
     spin_cost = 4;
     uncached_words = 0;
@@ -62,34 +68,39 @@ let default =
     mhz = 50;
   }
 
-let make ?(ncpus = default.ncpus) ?(memory_words = default.memory_words)
-    ?(line_words = default.line_words) ?(cache_lines = default.cache_lines)
-    ?(insn_cost = default.insn_cost) ?(miss_cost = default.miss_cost)
-    ?(c2c_cost = default.c2c_cost) ?(upgrade_cost = default.upgrade_cost)
-    ?(rmw_cost = default.rmw_cost) ?(irq_cost = default.irq_cost)
-    ?(spin_cost = default.spin_cost)
-    ?(uncached_words = default.uncached_words)
-    ?(uncached_cost = default.uncached_cost)
-    ?(bus_model = default.bus_model)
-    ?(bus_occupancy_div = default.bus_occupancy_div) ?(mhz = default.mhz) () =
+let make ?geometry:geom ?ncpus ?memory_words ?line_words ?cache_lines ?ways
+    ?insn_cost ?miss_cost ?c2c_cost ?upgrade_cost ?rmw_cost ?irq_cost
+    ?spin_cost ?uncached_words ?uncached_cost ?bus_model ?bus_occupancy_div
+    ?mhz () =
+  (* Three layers of defaults, outermost wins: the compiled-in
+     [default], then the [?geometry] record, then any explicit
+     per-field argument. *)
+  let g =
+    match geom with Some g -> g | None -> geometry default
+  in
+  let pick field fallback =
+    match field with Some v -> v | None -> fallback
+  in
+  let dfl = pick in
   let t =
     {
-      ncpus;
-      memory_words;
-      line_words;
-      cache_lines;
-      insn_cost;
-      miss_cost;
-      c2c_cost;
-      upgrade_cost;
-      rmw_cost;
-      irq_cost;
-      spin_cost;
-      uncached_words;
-      uncached_cost;
-      bus_model;
-      bus_occupancy_div;
-      mhz;
+      ncpus = dfl ncpus default.ncpus;
+      memory_words = dfl memory_words default.memory_words;
+      line_words = pick line_words g.Geometry.line_words;
+      cache_lines = pick cache_lines g.Geometry.cache_lines;
+      ways = pick ways g.Geometry.ways;
+      insn_cost = pick insn_cost g.Geometry.insn_cost;
+      miss_cost = pick miss_cost g.Geometry.miss_cost;
+      c2c_cost = pick c2c_cost g.Geometry.c2c_cost;
+      upgrade_cost = pick upgrade_cost g.Geometry.upgrade_cost;
+      rmw_cost = pick rmw_cost g.Geometry.rmw_cost;
+      irq_cost = dfl irq_cost default.irq_cost;
+      spin_cost = dfl spin_cost default.spin_cost;
+      uncached_words = dfl uncached_words default.uncached_words;
+      uncached_cost = dfl uncached_cost default.uncached_cost;
+      bus_model = dfl bus_model default.bus_model;
+      bus_occupancy_div = dfl bus_occupancy_div default.bus_occupancy_div;
+      mhz = dfl mhz default.mhz;
     }
   in
   validate t;

@@ -6,7 +6,14 @@
     bus, small per-CPU caches, and expensive atomic read-modify-write
     operations.  Absolute values are not meant to match the paper's
     microsecond numbers; they are chosen so that the *relative* behaviour
-    (coherence-miss domination, lock-contention collapse) is realistic. *)
+    (coherence-miss domination, lock-contention collapse) is realistic.
+
+    The cache-shaped subset of these fields (line size, capacity,
+    associativity, per-access costs) is a {!Geometry.t}: pass one to
+    {!make} — typically parsed at run time from [--geometry] or the
+    [KMA_GEOMETRY] environment — to sweep cache geometry without
+    recompiling.  See the paper's Design section cache-profile analysis,
+    which this turns into an experiment axis (E12). *)
 
 type t = {
   ncpus : int;  (** number of simulated CPUs *)
@@ -14,6 +21,10 @@ type t = {
   line_words : int;  (** cache-line size in words; must be a power of two *)
   cache_lines : int;
       (** per-CPU cache capacity in lines; [0] means unbounded *)
+  ways : int;
+      (** set associativity (lines per set); [0] means fully
+          associative.  When positive it must divide [cache_lines] with
+          a power-of-two set count; replacement is FIFO within a set. *)
   insn_cost : int;  (** base cost of any instruction *)
   miss_cost : int;  (** extra cycles for a miss serviced from memory *)
   c2c_cost : int;
@@ -42,14 +53,17 @@ type t = {
 }
 
 val default : t
-(** [default] is a 4-CPU machine with 4 MiW of memory, 8-word (32-byte)
-    cache lines and 256-line (8 KiB) caches. *)
+(** [default] is a 4-CPU machine with 4 MiW of memory and
+    {!Geometry.default} caches: 8-word (32-byte) lines, 256-line (8 KiB)
+    fully-associative per-CPU caches. *)
 
 val make :
+  ?geometry:Geometry.t ->
   ?ncpus:int ->
   ?memory_words:int ->
   ?line_words:int ->
   ?cache_lines:int ->
+  ?ways:int ->
   ?insn_cost:int ->
   ?miss_cost:int ->
   ?c2c_cost:int ->
@@ -65,13 +79,21 @@ val make :
   unit ->
   t
 (** [make ()] is [default] with the given fields overridden.
+    [?geometry] supplies the cache-shaped fields ([line_words],
+    [cache_lines], [ways] and the access costs) in one validated
+    bundle; an explicit per-field argument still wins over it.
 
     @raise Invalid_argument if a field is out of range (e.g. [ncpus < 1],
     [line_words] not a power of two, or [memory_words] not line-aligned). *)
+
+val geometry : t -> Geometry.t
+(** [geometry t] projects the cache-shaped subset back out of a config
+    (the exact inverse of passing [?geometry] to {!make}). *)
 
 val seconds_of_cycles : t -> int -> float
 (** [seconds_of_cycles t c] converts a cycle count to seconds at [t.mhz]. *)
 
 val validate : t -> unit
-(** [validate t] checks the invariants documented in {!make}.
+(** [validate t] checks the invariants documented in {!make}, including
+    {!Geometry.validate} on the cache-shaped subset.
     @raise Invalid_argument on violation. *)

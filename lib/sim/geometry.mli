@@ -1,0 +1,79 @@
+(** Runtime-configurable cache geometry for the simulated machine.
+
+    The paper's cache-profile analysis (Design section, "Analysis of
+    Memory-Allocator Cache Profile") varies cache geometry informally —
+    line size against block size, per-CPU cache capacity against working
+    set — to argue where coherence misses come from.  This module makes
+    that axis a first-class, {e runtime} experiment parameter instead of
+    a recompile: the subset of {!Config} that describes the cache
+    (geometry proper: line size, capacity, associativity) together with
+    the per-access cost model (hit, memory miss, remote-dirty miss,
+    invalidation round, atomic RMW), parsed from a [key=value] spec
+    string or the [KMA_GEOMETRY] environment variable, validated before
+    any machine is built.
+
+    A geometry never changes what the simulator {e does}, only what it
+    {e charges} (and, through capacity/associativity, which accesses
+    miss): at {!default} the cycle counts of every experiment are
+    bit-identical to the compiled-in constants they replace (proven by
+    [test/sim] and the fig7/E8 regression pins). *)
+
+type t = {
+  line_words : int;  (** cache-line size in words; power of two *)
+  cache_lines : int;
+      (** per-CPU capacity in lines; [0] means unbounded (no capacity
+          misses, coherence misses only) *)
+  ways : int;
+      (** set associativity: lines per set.  [0] means fully
+          associative (the paper-era default: one FIFO over the whole
+          cache).  When positive it must divide [cache_lines] and the
+          resulting set count must be a power of two; replacement is
+          FIFO within each set. *)
+  insn_cost : int;  (** base cost of any instruction (per-access cost) *)
+  miss_cost : int;  (** extra cycles for a miss serviced from memory *)
+  c2c_cost : int;
+      (** extra cycles for a miss serviced from another CPU's dirty
+          line (the "remote" cost that dominates the paper's profiles) *)
+  upgrade_cost : int;  (** shared-to-exclusive bus invalidation round *)
+  rmw_cost : int;  (** extra pipeline-stall cycles for an atomic RMW *)
+}
+
+val default : t
+(** The compiled-in geometry every recorded result uses: 8-word
+    (32-byte) lines, 256-line (8 KiB) fully-associative per-CPU caches,
+    and the 50 MHz-Symmetry-calibrated costs (hit 0, miss 30, remote
+    dirty 50, upgrade 20, RMW 12, 1 cycle per instruction). *)
+
+val validate : t -> unit
+(** [validate t] checks the invariants documented on each field.
+    @raise Invalid_argument naming the offending field. *)
+
+val to_string : t -> string
+(** Canonical spec string, e.g.
+    ["line=8,lines=256,assoc=0,insn=1,miss=30,c2c=50,upgrade=20,rmw=12"].
+    [of_string (to_string t) = Ok t]. *)
+
+val of_string : string -> (t, string) result
+(** [of_string spec] parses a comma-separated [key=value] list over
+    {!default}; keys are [line], [lines], [assoc], [insn], [miss],
+    [c2c], [upgrade], [rmw] (each value a non-negative integer).  An
+    unknown key, malformed pair, or invariant violation is [Error msg]
+    — the drivers turn it into a usage error (non-zero exit), never an
+    exception escaping mid-run. *)
+
+val env_var : string
+(** ["KMA_GEOMETRY"] — the environment variable both drivers consult
+    before their [--geometry] flag (the flag wins). *)
+
+val of_env : unit -> (t, string) result
+(** [of_env ()] parses {!env_var} ([Ok default] when unset or empty). *)
+
+val set_ambient : t -> unit
+(** [set_ambient g] installs [g] as the process-wide geometry that
+    {!Workload.Rig.paper_config} (and so every experiment that does not
+    build its own {!Config}) picks up.  Drivers call this once at
+    startup, before any domain is spawned; tests that need a specific
+    geometry pass an explicit config instead. *)
+
+val ambient : unit -> t
+(** The installed geometry; {!default} until {!set_ambient} is called. *)

@@ -29,6 +29,8 @@ type cpu = {
   mutable nretired : int;
   mutable irq_off : bool;
   mutable nspins : int;
+  mutable spin_mix : int; (* last spin-jitter hash value *)
+  mutable spin_r : int; (* spin_mix mod the jitter modulus *)
   mutable state : step;
 }
 
@@ -37,6 +39,14 @@ type t = {
   memory : Memory.t;
   cache : Cache.t;
   cpus : cpu array;
+  bus_shift : int;
+      (* log2 of bus_occupancy_div when it is a power of two (the
+         default), -1 otherwise: turns the per-transfer occupancy
+         division — on the path of every off-chip access — into a
+         shift. *)
+  spin_d : int; (* jitter modulus: 3 * spin_cost + 1 *)
+  spin_k1d : int; (* hash stride mod spin_d *)
+  spin_wd : int; (* 2^62 mod spin_d, for hash wraparound *)
   mutable bus_free : int;
       (* Virtual instant the shared bus becomes free.  Off-chip
          transfers queue behind it; because operations execute in
@@ -44,22 +54,40 @@ type t = {
          first-served. *)
 }
 
+(* Multiplicative stride of the spin-jitter hash (see [exec_spin]). *)
+let spin_k1 = 2654435761
+
 let create (cfg : Config.t) =
   Config.validate cfg;
+  let spin_d = (3 * cfg.spin_cost) + 1 in
+  let bus_shift =
+    let d = cfg.bus_occupancy_div in
+    if d land (d - 1) = 0 then
+      let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+      go 0 d
+    else -1
+  in
   {
     cfg;
     memory = Memory.create ~words:cfg.memory_words;
     cache = Cache.create cfg;
     cpus =
       Array.init cfg.ncpus (fun id ->
+          let mix0 = (id * 40503) land max_int in
           {
             id;
             time = 0;
             nretired = 0;
             irq_off = false;
             nspins = 0;
+            spin_mix = mix0;
+            spin_r = mix0 mod spin_d;
             state = Done;
           });
+    bus_shift;
+    spin_d;
+    spin_k1d = spin_k1 mod spin_d;
+    spin_wd = ((max_int mod spin_d) + 1) mod spin_d;
     bus_free = 0;
   }
 
@@ -82,55 +110,344 @@ let reset_clocks t =
 
 let irq_disabled t ~cpu = t.cpus.(cpu).irq_off
 
-(* The CPU whose program (host code between two operations) is executing
-   right now, if any.  Maintained by the scheduler around every
-   continuation resume so that host-side observers — the flight
-   recorder above all — can learn the current CPU and its clock WITHOUT
-   performing a (zero-cost but scheduler-visible) operation.  An extra
+(* Per-domain execution context.  [cur] is the CPU whose program (host
+   code between two operations) is executing right now, if any —
+   maintained by the scheduler around every continuation resume so that
+   host-side observers (the flight recorder above all) can learn the
+   current CPU and its clock WITHOUT performing an operation.  An extra
    operation is an extra yield point: it splits the host code around it
    into separately scheduled slices, letting same-instant host code on
-   other CPUs interleave where it otherwise could not.  That never
-   perturbs the simulated memory order, but host-side state shared
-   between programs (allocator adaptation state, fault PRNGs) would see
-   a different interleaving — observable as recorder-on runs diverging
-   from recorder-off runs.
+   other CPUs interleave where it otherwise could not.
+
+   The remaining fields drive the same-CPU fast path.  [limit_time] /
+   [limit_id] are the clock and id of the earliest OTHER pending CPU
+   when [cur] was resumed: as long as [cur]'s clock stays below that
+   bound (ties broken by id, mirroring the scheduler's pick), the
+   scheduler would pick [cur] again immediately, so the operation can
+   execute inline in host code — no effect performed, no continuation
+   captured, no scheduler round trip.  Other CPUs' clocks and pending
+   states are frozen while [cur]'s host code runs, so the bound
+   computed at resume time stays exact for the whole slice.  This is
+   why a batch of same-CPU operations (the exclusive-line hits of a
+   per-CPU freelist above all) costs one scheduler event instead of
+   one per operation, and why the batching is bit-identical by
+   construction: an operation runs inline ONLY when the scheduler
+   would have executed exactly that operation next anyway.
 
    The slot is domain-local: lib/parallel shards experiment sweeps
    across domains, each driving its own machine, so a shared slot
-   would let one domain's scheduler clobber another's executing-CPU
-   record mid-resume.  [run] fetches the domain's slot once and
-   threads it through the scheduling loop, keeping DLS lookups off the
-   per-operation path. *)
-let executing_key : cpu option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
+   would let one domain's scheduler clobber another's context
+   mid-resume. *)
+type ctx = {
+  mutable mach : t option;
+  mutable cur : int;
+      (* index of the executing CPU in [mach]'s cpu array, -1 when no
+         program is running.  An index rather than a [cpu option]: the
+         slot is written twice per continuation resume on the hottest
+         path in the simulator, and an immediate store neither
+         allocates an option nor calls the GC write barrier. *)
+  mutable limit_time : int; (* min_int disables the fast path *)
+  mutable limit_id : int;
+  mutable max_cycles : int; (* 0 = no watchdog *)
+}
 
-let running () =
-  match !(Domain.DLS.get executing_key) with
-  | Some c -> Some (c.id, c.time)
-  | None -> None
+(* A never-inlining context: [fast_ctx] returns it when no program is
+   executing or the fast path is off, so the fronts test one pointer
+   instead of re-checking both conditions in every branch. *)
+let null_ctx =
+  { mach = None; cur = -1; limit_time = min_int; limit_id = max_int;
+    max_cycles = 0 }
 
-let running_irq_off () =
-  match !(Domain.DLS.get executing_key) with
-  | Some c -> c.irq_off
-  | None -> false
+let executing_key : ctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        mach = None;
+        cur = -1;
+        limit_time = min_int;
+        limit_id = max_int;
+        max_cycles = 0;
+      })
+
+(* Test-only kill switch (see {!set_fast_path}): the equivalence proofs
+   in test/sim and test/experiments run every workload twice, fast path
+   on and off, and require bit-identical cycles and state.  Written
+   only from tests before any domain is spawned. *)
+let fast_path_on = ref true
+let set_fast_path b = fast_path_on := b
+let fast_path_enabled () = !fast_path_on
 
 (* Typed operation fronts.  All operations funnel through a single
    int-valued effect so the scheduler needs no existential plumbing. *)
 let perform_op o =
   try Effect.perform (Op o)
   with Effect.Unhandled _ -> raise Not_in_simulation
-let read a = perform_op (Read a)
-let write a v = ignore (perform_op (Write (a, v)))
 
-let cas a ~expected ~desired = perform_op (Cas (a, expected, desired)) = 1
-let fetch_add a n = perform_op (Faa (a, n))
-let swap a v = perform_op (Swap (a, v))
-let work n = if n > 0 then ignore (perform_op (Work n))
-let spin_pause () = ignore (perform_op Spin)
-let cpu_id () = perform_op Cpu_id
-let now () = perform_op Now
-let irq_disable () = ignore (perform_op (Irq true))
-let irq_enable () = ignore (perform_op (Irq false))
+(* A cached memory access on behalf of [c]: cache stall plus bus
+   arbitration.  Top-level (not a closure inside [exec]) so the hot
+   path allocates nothing. *)
+let mem_access t (c : cpu) a kind =
+  let cfg = t.cfg in
+  let stall = Cache.access t.cache ~cpu:c.id a kind in
+  let stall =
+    if stall > 0 && cfg.bus_model then begin
+      (* The transfer waits for the bus, then holds it for its
+         request/arbitration phases while the CPU stalls for the full
+         transfer latency. *)
+      let wait = max 0 (t.bus_free - c.time) in
+      let occ =
+        if t.bus_shift >= 0 then stall lsr t.bus_shift
+        else stall / cfg.bus_occupancy_div
+      in
+      let occupancy = max 1 occ in
+      t.bus_free <- c.time + wait + occupancy;
+      wait + stall
+    end
+    else stall
+  in
+  cfg.insn_cost + stall
+
+(* Per-operation executors.  Each charges cycle cost and retired
+   instructions directly onto [c] and returns the operation's result
+   value.  Both the scheduler (via [exec]) and the specialised
+   fast-path fronts below call these SAME functions, so the two paths
+   cannot charge differently. *)
+let exec_read t (c : cpu) a =
+  c.time <- c.time + mem_access t c a Cache.Load;
+  c.nretired <- c.nretired + 1;
+  Memory.get t.memory a
+
+let exec_write t (c : cpu) a v =
+  c.time <- c.time + mem_access t c a Cache.Store;
+  c.nretired <- c.nretired + 1;
+  Memory.set t.memory a v;
+  0
+
+let exec_cas t (c : cpu) a expected desired =
+  c.time <- c.time + mem_access t c a Cache.Rmw + t.cfg.rmw_cost;
+  c.nretired <- c.nretired + 1;
+  let cur = Memory.get t.memory a in
+  if cur = expected then begin
+    Memory.set t.memory a desired;
+    1
+  end
+  else 0
+
+let exec_faa t (c : cpu) a n =
+  c.time <- c.time + mem_access t c a Cache.Rmw + t.cfg.rmw_cost;
+  c.nretired <- c.nretired + 1;
+  let old = Memory.get t.memory a in
+  Memory.set t.memory a (old + n);
+  old
+
+let exec_swap t (c : cpu) a v =
+  c.time <- c.time + mem_access t c a Cache.Rmw + t.cfg.rmw_cost;
+  c.nretired <- c.nretired + 1;
+  let old = Memory.get t.memory a in
+  Memory.set t.memory a v;
+  old
+
+let exec_work t (c : cpu) n =
+  c.time <- c.time + (n * t.cfg.insn_cost);
+  c.nretired <- c.nretired + n;
+  0
+
+let exec_spin t (c : cpu) =
+  (* Deterministic pseudo-random jitter.  Without it, a spinning CPU
+     can phase-lock with another CPU's periodic lock/unlock pattern
+     and lose the race forever — an artifact of the discrete-event
+     model that real bus arbitration and timing noise preclude.
+
+     The jitter is [mix mod d] where [mix] is a multiplicative hash of
+     (nspins, id) and [d = 3 * spin_cost + 1] — but computed WITHOUT
+     the division, which is the single most expensive instruction in
+     the (very hot) spin path.  Successive [mix] values differ by the
+     constant stride [spin_k1] mod 2^62, so the remainder advances by
+     [spin_k1 mod d], minus [2^62 mod d] whenever the hash wraps
+     (detected as [mix] decreasing), then folded back into [0, d) with
+     two compares.  Bit-identical to the division by construction, and
+     pinned by the equivalence suite. *)
+  c.nspins <- c.nspins + 1;
+  let mix = ((c.nspins * spin_k1) + (c.id * 40503)) land max_int in
+  let r = c.spin_r + t.spin_k1d in
+  let r = if mix < c.spin_mix then r - t.spin_wd else r in
+  let r = if r < 0 then r + t.spin_d else r in
+  let r = if r >= t.spin_d then r - t.spin_d else r in
+  c.spin_mix <- mix;
+  c.spin_r <- r;
+  c.time <- c.time + t.cfg.spin_cost + r;
+  c.nretired <- c.nretired + 1;
+  0
+
+let exec_irq t (c : cpu) on =
+  c.irq_off <- on;
+  c.time <- c.time + t.cfg.irq_cost;
+  c.nretired <- c.nretired + 1;
+  0
+
+(* Scheduler-side dispatch over a reified operation. *)
+let exec t (c : cpu) (o : op) : int =
+  match o with
+  | Read a -> exec_read t c a
+  | Write (a, v) -> exec_write t c a v
+  | Cas (a, expected, desired) -> exec_cas t c a expected desired
+  | Faa (a, n) -> exec_faa t c a n
+  | Swap (a, v) -> exec_swap t c a v
+  | Work n -> exec_work t c n
+  | Spin -> exec_spin t c
+  | Cpu_id -> c.id
+  | Now -> c.time
+  | Irq on -> exec_irq t c on
+
+(* Operation fronts.  Each is specialised rather than routed through
+   one generic [dispatch o]: on the fast path (executing CPU would be
+   the scheduler's next pick — its clock below every other pending
+   CPU's, ties broken by id exactly like the pick; watchdog clear) the
+   operation executes inline via the shared executor WITHOUT
+   constructing an [op] value, performing an effect, or capturing a
+   continuation.  Only the fallback reifies the operation and yields
+   to the scheduler.  The watchdog guard matters: when the deadline
+   has passed, falling back to the effect lets [Watchdog] propagate
+   from the scheduler loop exactly as it always did, without unwinding
+   the program's own stack.
+
+   [Spin] alone uses a weaker guard (see [spin_pause]): a spin touches
+   only the spinning CPU's private state, so it commutes with every
+   other CPU's operations and may run inline even when this CPU is not
+   the next pick, provided no watchdog is armed. *)
+
+(* [Domain.DLS.get] is an out-of-line call whose cost is visible on
+   every operation, so the fast path reads the domain-local slot
+   directly through the [%dls_get] primitive the stdlib itself uses.
+   Soundness: [run] initialises the key through the official API
+   before any operation can execute on this domain, so by the time a
+   front looks, the slot holds a real [ctx] — and if it does not (no
+   [run] on this domain yet: slot missing, or holding the stdlib's
+   uninitialised sentinel [ref 0]), the first field reads as the
+   immediate 0, i.e. [mach = None], and every front falls through to
+   [perform_op] exactly like the out-of-simulation case. *)
+external get_dls_state : unit -> Obj.t array = "%dls_get"
+
+let executing_key_idx : int = fst (Obj.magic executing_key : int * unit)
+
+let[@inline] fast_ctx () =
+  let st = get_dls_state () in
+  if executing_key_idx < Array.length st then
+    (Obj.magic (Array.unsafe_get st executing_key_idx) : ctx)
+  else null_ctx
+
+(* Host-side observers, on the same direct slot read as the fronts.
+   [mach] is matched BEFORE [cur] is read: the uninitialised-sentinel
+   block is a single word, so its first field is a safe read (and is
+   the immediate 0 = [None]) while its second is not. *)
+let running () =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when ctx.cur >= 0 ->
+      let c = t.cpus.(ctx.cur) in
+      Some (c.id, c.time)
+  | _ -> None
+
+let running_irq_off () =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when ctx.cur >= 0 -> t.cpus.(ctx.cur).irq_off
+  | _ -> false
+
+let[@inline] may_inline ctx =
+  ctx.cur >= 0 && !fast_path_on
+  &&
+  match ctx.mach with
+  | Some t ->
+      let c = Array.unsafe_get t.cpus ctx.cur in
+      (c.time < ctx.limit_time
+      || (c.time = ctx.limit_time && c.id < ctx.limit_id))
+      && (ctx.max_cycles = 0 || c.time <= ctx.max_cycles)
+  | None -> false
+
+let read a =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      exec_read t (Array.unsafe_get t.cpus ctx.cur) a
+  | _ -> perform_op (Read a)
+
+let write a v =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      ignore (exec_write t (Array.unsafe_get t.cpus ctx.cur) a v)
+  | _ -> ignore (perform_op (Write (a, v)))
+
+let cas a ~expected ~desired =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      exec_cas t (Array.unsafe_get t.cpus ctx.cur) a expected desired = 1
+  | _ -> perform_op (Cas (a, expected, desired)) = 1
+
+let fetch_add a n =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      exec_faa t (Array.unsafe_get t.cpus ctx.cur) a n
+  | _ -> perform_op (Faa (a, n))
+
+let swap a v =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      exec_swap t (Array.unsafe_get t.cpus ctx.cur) a v
+  | _ -> perform_op (Swap (a, v))
+
+let work n =
+  if n > 0 then begin
+    let ctx = fast_ctx () in
+    match ctx.mach with
+    | Some t when may_inline ctx ->
+        ignore (exec_work t (Array.unsafe_get t.cpus ctx.cur) n)
+    | _ -> ignore (perform_op (Work n))
+  end
+
+let spin_pause () =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when ctx.cur >= 0 && !fast_path_on && ctx.max_cycles = 0 ->
+      ignore (exec_spin t (Array.unsafe_get t.cpus ctx.cur))
+  | _ -> ignore (perform_op Spin)
+
+(* Strict twin of [spin_pause] for host-state polling loops (the
+   scenario replayer's cross-CPU free handoff): same operation, same
+   cycle charges, but always routed through the scheduler so the host
+   code that published the awaited state gets to run. *)
+let spin_poll () = ignore (perform_op Spin)
+
+let cpu_id () =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      (Array.unsafe_get t.cpus ctx.cur).id
+  | _ -> perform_op Cpu_id
+
+let now () =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      (Array.unsafe_get t.cpus ctx.cur).time
+  | _ -> perform_op Now
+
+let irq_disable () =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      ignore (exec_irq t (Array.unsafe_get t.cpus ctx.cur) true)
+  | _ -> ignore (perform_op (Irq true))
+
+let irq_enable () =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      ignore (exec_irq t (Array.unsafe_get t.cpus ctx.cur) false)
+  | _ -> ignore (perform_op (Irq false))
 
 (* Run a program until its first operation (or completion). *)
 let reify (f : unit -> unit) : step =
@@ -147,165 +464,169 @@ let reify (f : unit -> unit) : step =
           | _ -> None);
     }
 
-(* A cached memory access on behalf of [c]: cache stall plus bus
-   arbitration.  Top-level (not a closure inside [exec]) so the hot
-   path allocates nothing. *)
-let mem_access t (c : cpu) a kind =
-  let cfg = t.cfg in
-  let stall = Cache.access t.cache ~cpu:c.id a kind in
-  let stall =
-    if stall > 0 && cfg.bus_model then begin
-      (* The transfer waits for the bus, then holds it for its
-         request/arbitration phases while the CPU stalls for the full
-         transfer latency. *)
-      let wait = max 0 (t.bus_free - c.time) in
-      let occupancy = max 1 (stall / cfg.bus_occupancy_div) in
-      t.bus_free <- c.time + wait + occupancy;
-      wait + stall
-    end
-    else stall
-  in
-  cfg.insn_cost + stall
-
-(* Execute [o] on behalf of [c] at its current virtual time, charging
-   cycle cost and retired instructions directly onto [c] (no result
-   tuple: this runs once per simulated operation).  Returns the
-   operation's result value. *)
-let exec t (c : cpu) (o : op) : int =
-  let cfg = t.cfg in
-  match o with
-  | Read a ->
-      c.time <- c.time + mem_access t c a Cache.Load;
-      c.nretired <- c.nretired + 1;
-      Memory.get t.memory a
-  | Write (a, v) ->
-      c.time <- c.time + mem_access t c a Cache.Store;
-      c.nretired <- c.nretired + 1;
-      Memory.set t.memory a v;
-      0
-  | Cas (a, expected, desired) ->
-      c.time <- c.time + mem_access t c a Cache.Rmw + cfg.rmw_cost;
-      c.nretired <- c.nretired + 1;
-      let cur = Memory.get t.memory a in
-      if cur = expected then begin
-        Memory.set t.memory a desired;
-        1
-      end
-      else 0
-  | Faa (a, n) ->
-      c.time <- c.time + mem_access t c a Cache.Rmw + cfg.rmw_cost;
-      c.nretired <- c.nretired + 1;
-      let old = Memory.get t.memory a in
-      Memory.set t.memory a (old + n);
-      old
-  | Swap (a, v) ->
-      c.time <- c.time + mem_access t c a Cache.Rmw + cfg.rmw_cost;
-      c.nretired <- c.nretired + 1;
-      let old = Memory.get t.memory a in
-      Memory.set t.memory a v;
-      old
-  | Work n ->
-      c.time <- c.time + (n * cfg.insn_cost);
-      c.nretired <- c.nretired + n;
-      0
-  | Spin ->
-      (* Deterministic pseudo-random jitter.  Without it, a spinning CPU
-         can phase-lock with another CPU's periodic lock/unlock pattern
-         and lose the race forever — an artifact of the discrete-event
-         model that real bus arbitration and timing noise preclude. *)
-      c.nspins <- c.nspins + 1;
-      let mix = ((c.nspins * 2654435761) + (c.id * 40503)) land max_int in
-      let jitter = mix mod ((3 * cfg.spin_cost) + 1) in
-      c.time <- c.time + cfg.spin_cost + jitter;
-      c.nretired <- c.nretired + 1;
-      0
-  | Cpu_id -> c.id
-  | Now -> c.time
-  | Irq on ->
-      c.irq_off <- on;
-      c.time <- c.time + cfg.irq_cost;
-      c.nretired <- c.nretired + 1;
-      0
-
-(* Resume [c]'s continuation with the executing-CPU slot [ex] pointing
-   at it; restore on the way out, exceptional or not. *)
-let resume ex (c : cpu) k v : step =
-  let saved = !ex in
-  ex := Some c;
-  match Effect.Deep.continue k v with
-  | s ->
-      ex := saved;
-      s
-  | exception e ->
-      ex := saved;
-      raise e
-
-let step t ex (c : cpu) =
-  match c.state with
-  | Done -> ()
-  | Next (o, k) ->
-      let result = exec t c o in
-      c.state <- Done;
-      c.state <- resume ex c k result
-
 let run ?(max_cycles = 0) t progs =
   let n = Array.length progs in
   if n < 1 || n > t.cfg.ncpus then
     invalid_arg
       (Printf.sprintf "Sim.Machine.run: %d programs for %d CPUs" n
          t.cfg.ncpus);
-  let ex = Domain.DLS.get executing_key in
-  (* Launch every program up to its first operation.  The launch itself
-     consumes no virtual time. *)
-  let live = ref 0 in
-  for i = 0 to n - 1 do
-    let c = t.cpus.(i) in
-    let prog = progs.(i) in
-    let saved = !ex in
-    ex := Some c;
-    let s =
-      match reify (fun () -> prog i) with
-      | s ->
-          ex := saved;
-          s
-      | exception e ->
-          ex := saved;
-          raise e
-    in
-    match s with
-    | Done -> ()
-    | Next _ ->
-        c.state <- s;
-        incr live
-  done;
-  (* Discrete-event loop: always advance the pending CPU with the
-     smallest clock (ties by id, giving determinism). *)
-  let pick () =
-    let best = ref (-1) in
-    let best_time = ref max_int in
+  let ctx = Domain.DLS.get executing_key in
+  (* Save the whole context so a (pathological) nested run restores the
+     outer machine's fast-path bounds on the way out. *)
+  let saved_mach = ctx.mach
+  and saved_limit_time = ctx.limit_time
+  and saved_limit_id = ctx.limit_id
+  and saved_max_cycles = ctx.max_cycles in
+  ctx.mach <- Some t;
+  ctx.max_cycles <- max_cycles;
+  let restore () =
+    ctx.mach <- saved_mach;
+    ctx.limit_time <- saved_limit_time;
+    ctx.limit_id <- saved_limit_id;
+    ctx.max_cycles <- saved_max_cycles
+  in
+  match
+    (* Launch every program up to its first operation.  The launch
+       itself consumes no virtual time, and the fast path stays
+       disabled (limit_time = min_int): later programs have not
+       launched yet, so "no other pending CPU" would be a lie. *)
+    ctx.limit_time <- min_int;
+    ctx.limit_id <- max_int;
     for i = 0 to n - 1 do
       let c = t.cpus.(i) in
-      match c.state with
-      | Next _ when c.time < !best_time ->
-          best := i;
-          best_time := c.time
-      | Next _ | Done -> ()
+      let prog = progs.(i) in
+      let saved = ctx.cur in
+      ctx.cur <- c.id;
+      let s =
+        match reify (fun () -> prog i) with
+        | s ->
+            ctx.cur <- saved;
+            s
+        | exception e ->
+            ctx.cur <- saved;
+            raise e
+      in
+      match s with
+      | Done -> ()
+      | Next _ -> c.state <- s
     done;
-    !best
-  in
-  let rec loop () =
-    let i = pick () in
-    if i >= 0 then begin
-      let c = t.cpus.(i) in
-      if max_cycles > 0 && c.time > max_cycles then raise (Watchdog c.time);
-      step t ex c;
-      (match c.state with Done -> decr live | Next _ -> ());
-      loop ()
-    end
-    else if !live > 0 then
-      raise (Deadlock "unfinished CPUs but none runnable")
-  in
-  loop ()
+    (* Discrete-event loop: always advance the pending CPU with the
+       smallest clock (ties by id, giving determinism).  The pending
+       CPUs live in a binary min-heap ordered exactly like the old
+       linear pick (time, then id), so the pick is the root, and the
+       earliest instant any OTHER pending CPU could run — the
+       fast-path bound published to the resumed program — is simply
+       the smaller of the root's two children, for free.  Clocks only
+       move forward, so re-keying the root after its operation is a
+       single sift-down: O(log ncpus) per event where the scan-based
+       loop paid O(ncpus) twice, which is most of the event cost on
+       wide machines. *)
+    let cpus = t.cpus in
+    (* The heap stores packed keys [(time lsl 6) lor id], not cpu
+       records: integer comparison of packed keys IS the scheduler's
+       (time, id) lexicographic order (ncpus <= 64 is a Config
+       invariant), so sifts compare registers instead of chasing two
+       pointers per comparison, and the int array needs no GC write
+       barrier.  Virtual clocks would need to pass 2^56 cycles to
+       overflow the packing; the longest figure-scale runs sit around
+       2^27. *)
+    let key_of (c : cpu) = (c.time lsl 6) lor c.id in
+    let heap = Array.make n 0 in
+    let hn = ref 0 in
+    let sift_down () =
+      let x = Array.unsafe_get heap 0 in
+      let i = ref 0 in
+      let break = ref false in
+      while not !break do
+        let l = (2 * !i) + 1 in
+        if l >= !hn then break := true
+        else begin
+          let m =
+            if l + 1 < !hn && Array.unsafe_get heap (l + 1) < Array.unsafe_get heap l
+            then l + 1
+            else l
+          in
+          if Array.unsafe_get heap m < x then begin
+            Array.unsafe_set heap !i (Array.unsafe_get heap m);
+            i := m
+          end
+          else break := true
+        end
+      done;
+      Array.unsafe_set heap !i x
+    in
+    let push k =
+      let i = ref !hn in
+      incr hn;
+      while
+        !i > 0
+        &&
+        let p = (!i - 1) / 2 in
+        k < heap.(p)
+      do
+        let p = (!i - 1) / 2 in
+        heap.(!i) <- heap.(p);
+        i := p
+      done;
+      heap.(!i) <- k
+    in
+    for i = 0 to n - 1 do
+      let c = cpus.(i) in
+      match c.state with Next _ -> push (key_of c) | Done -> ()
+    done;
+    let rec loop () =
+      if !hn > 0 then begin
+        let c = Array.unsafe_get cpus (Array.unsafe_get heap 0 land 63) in
+        if max_cycles > 0 && c.time > max_cycles then raise (Watchdog c.time);
+        (* min over the other pending CPUs = min of the root's children *)
+        if !hn > 1 then begin
+          let m =
+            if !hn > 2 && Array.unsafe_get heap 2 < Array.unsafe_get heap 1
+            then Array.unsafe_get heap 2
+            else Array.unsafe_get heap 1
+          in
+          ctx.limit_time <- m asr 6;
+          ctx.limit_id <- m land 63
+        end
+        else begin
+          ctx.limit_time <- max_int;
+          ctx.limit_id <- max_int
+        end;
+        (* [step] inlined: at simulator event rates even the two call
+           frames (step, resume) are measurable. *)
+        (match c.state with
+        | Done -> ()
+        | Next (o, k) ->
+            let result = exec t c o in
+            c.state <- Done;
+            let saved = ctx.cur in
+            ctx.cur <- c.id;
+            (match Effect.Deep.continue k result with
+            | s ->
+                ctx.cur <- saved;
+                c.state <- s
+            | exception e ->
+                ctx.cur <- saved;
+                raise e));
+        (match c.state with
+        | Done ->
+            hn := !hn - 1;
+            if !hn > 0 then begin
+              Array.unsafe_set heap 0 (Array.unsafe_get heap !hn);
+              sift_down ()
+            end
+        | Next _ ->
+            Array.unsafe_set heap 0 (key_of c);
+            sift_down ());
+        loop ()
+      end
+    in
+    loop ()
+    with
+  | () -> restore ()
+  | exception e ->
+      restore ();
+      raise e
 
 let run_symmetric ?max_cycles t ~ncpus f =
   run ?max_cycles t (Array.init ncpus (fun _ -> f))

@@ -16,6 +16,21 @@
     kernel code keeps its data structures in simulated memory so that its
     cache behaviour is emergent.
 
+    {b Fast path.}  Performing an effect and resuming a continuation is
+    the per-operation overhead that dominates simulator host time, so
+    operations take a same-CPU fast path whenever the scheduler would
+    pick the executing CPU next anyway: while its clock stays below
+    every other pending CPU's (ties broken by id, mirroring the pick
+    loop), the operation executes inline in host code and the whole
+    batch of such operations costs one scheduler event.  Per-CPU
+    freelist hits on exclusive lines — the common case the paper's
+    allocator is built around — are exactly this shape.  The routing is
+    an optimisation only: both paths funnel into one executor, so
+    cycle counts, statistics and memory order are bit-identical with
+    the fast path on or off (proven by the equivalence suite in
+    [test/sim] and the fig7/E8 pins in [test/experiments]; see
+    DESIGN.md "Simulator cost model").
+
     Operations may only be performed from inside a program run by {!run};
     calling them elsewhere raises [Not_in_simulation]. *)
 
@@ -102,7 +117,24 @@ val spin_pause : unit -> unit
     by a deterministic per-CPU hash: the jitter models real bus
     arbitration and keeps spin loops from phase-locking against another
     CPU's periodic critical section (a livelock artifact of purely
-    deterministic discrete-event timing). *)
+    deterministic discrete-event timing).
+
+    Contract: the host code between a [spin_pause] and the program's
+    next operation must be pure loop control over program-private data
+    (every spin site in a test-and-set or barrier loop re-checks the
+    condition through a memory operation).  A spin touches only the
+    spinning CPU's private state, so under that contract the simulator
+    may execute it inline without a scheduler round trip even when
+    another CPU's clock is behind — the second leg of the fast path.
+    A loop that instead polls host-side state published by another
+    CPU's host code must use {!spin_poll}. *)
+
+val spin_poll : unit -> unit
+(** [spin_poll ()] is [spin_pause] for loops that re-check {e host-side}
+    state another simulated CPU's host code will publish (the scenario
+    replayer's cross-CPU free handoff).  Identical cycle charges, but it
+    always yields to the scheduler so the publishing CPU's host code can
+    run; inlining it would spin forever. *)
 
 val cpu_id : unit -> int
 (** [cpu_id ()] is the current CPU's id (free of charge; models reading a
@@ -138,3 +170,15 @@ val running_irq_off : unit -> bool
     executing CPU ([false] outside any simulation).  Same contract as
     {!running}: host-side, not an operation, no yield point — this is
     what the lockcheck interrupt-discipline probe reads. *)
+
+(** {1 Fast-path control (test oracles)} *)
+
+val set_fast_path : bool -> unit
+(** [set_fast_path false] forces every operation through the effect
+    handler and the scheduler loop — the pre-fast-path execution
+    mode.  Process-wide, intended for the equivalence proofs only
+    (run a workload both ways, require bit-identical cycles and
+    state); call it before any domain is spawned. *)
+
+val fast_path_enabled : unit -> bool
+(** Whether the same-CPU inline fast path is active (the default). *)

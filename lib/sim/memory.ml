@@ -7,17 +7,24 @@ let create ~words =
 
 let size t = Array.length t.words
 
-let check t a who =
-  if a < 0 || a >= Array.length t.words then
-    invalid_arg
-      (Printf.sprintf "Sim.Memory.%s: address %d out of bounds [0, %d)" who a
-         (Array.length t.words))
+let[@inline never] bad t a who =
+  ignore (t : t);
+  invalid_arg
+    (Printf.sprintf "Sim.Memory.%s: address %d out of bounds [0, %d)" who a
+       (Array.length t.words))
 
-let get t a =
+(* The bounds check is inlined at every call site (one compare and a
+   cold branch); the error path stays out of line so [get]/[set] are
+   small enough for the compiler to inline cross-module into the
+   simulator's per-operation executors. *)
+let[@inline] check t a who =
+  if a < 0 || a >= Array.length t.words then bad t a who
+
+let[@inline] get t a =
   check t a "get";
   Array.unsafe_get t.words a
 
-let set t a v =
+let[@inline] set t a v =
   check t a "set";
   Array.unsafe_set t.words a v
 

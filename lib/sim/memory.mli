@@ -1,5 +1,10 @@
 (** Word-addressed simulated physical memory.
 
+    Reproduction infrastructure with no direct counterpart in the
+    paper: the backing store beneath the simulated Symmetry's caches,
+    holding every structure the allocators lay out (the paper's
+    freelists, page descriptors and blocks all live here as words).
+
     A word models a 32-bit machine word; addresses are word indices.
     Address [0] is reserved as the nil pointer: it is readable and
     writable like any other word, but allocators treat it as NULL, so

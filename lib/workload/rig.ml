@@ -1,6 +1,9 @@
 let paper_config ?(memory_words = 2 * 1024 * 1024) ~ncpus () =
-  Sim.Config.make ~ncpus ~memory_words ~cache_lines:256 ~uncached_words:512
-    ()
+  (* Cache shape and costs come from the ambient geometry (the
+     drivers' --geometry / KMA_GEOMETRY), which defaults to the
+     paper-era 256-line fully-associative caches. *)
+  Sim.Config.make ~geometry:(Sim.Geometry.ambient ()) ~ncpus ~memory_words
+    ~uncached_words:512 ()
 
 let fresh which ?config ~ncpus () =
   let cfg =

@@ -4,8 +4,11 @@
     and fresh machine/allocator pairs for experiments. *)
 
 val paper_config : ?memory_words:int -> ncpus:int -> unit -> Sim.Config.t
-(** 256-line (8 KiB) bounded caches, 512 uncacheable words at the top
-    of memory, default bus costs, 50 MHz. *)
+(** The {!Sim.Geometry.ambient} cache geometry (by default the paper-era
+    256-line (8 KiB) bounded caches), 512 uncacheable words at the top
+    of memory, default bus costs, 50 MHz.  Because every experiment that
+    does not build its own config comes through here, a driver's
+    [--geometry] / [KMA_GEOMETRY] spec reshapes the whole suite. *)
 
 val fresh :
   Baseline.Allocator.which ->

@@ -325,7 +325,9 @@ let exec s ~on_op e =
               s.s_skipped <- s.s_skipped + 1
             end
             else begin
-              Machine.spin_pause ();
+              (* Polls host state published by the allocating CPU's
+                 host code: must always yield (see [Machine.spin_poll]). *)
+              Machine.spin_poll ();
               wait ()
             end
       in

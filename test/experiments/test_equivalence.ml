@@ -1,0 +1,96 @@
+(* The tentpole's bit-identicality contract at experiment scale, the
+   PR-5 way: run fig7 and E8 (pressure) slices under the default
+   geometry with the same-CPU fast path disabled (every operation
+   through the scheduler — the pre-fast-path execution mode) and
+   enabled, and require the results to match byte for byte.  Every
+   reported number is a pure function of integer cycle counts, so
+   structural equality of the records IS cycle-count equality.
+
+   The pinned constants below are the default-geometry regression
+   anchor: if any simulator or allocator change moves them, the
+   recorded results in EXPERIMENTS.md and BENCH_host.json no longer
+   describe the code.  Deliberate cost-model changes must update the
+   pins (and the recorded results) explicitly. *)
+
+let both f =
+  Sim.Machine.set_fast_path false;
+  let slow =
+    Fun.protect ~finally:(fun () -> Sim.Machine.set_fast_path true) f
+  in
+  let fast = f () in
+  (slow, fast)
+
+let test_fig7_slice_identical () =
+  let slice () =
+    Experiments.Fig7.run ~cpus:[ 1; 2; 4 ] ~iters:120 ()
+  in
+  let slow, fast = both slice in
+  Alcotest.(check int) "same cardinality" (List.length slow) (List.length fast);
+  List.iter2
+    (fun (s : Experiments.Fig7.point) (f : Experiments.Fig7.point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s@%d identical"
+           (Baseline.Allocator.name_of s.Experiments.Fig7.which)
+           s.Experiments.Fig7.ncpus)
+        true (s = f))
+    slow fast
+
+let test_pressure_slice_identical () =
+  let slice () =
+    Experiments.Pressure.run ~ncpus:2 ~rounds:4 ~batch:30
+      ~rates:[ 0.0; 0.2 ] ()
+  in
+  let slow, fast = both slice in
+  Alcotest.(check bool) "E8 slice identical" true (slow = fast)
+
+(* Default-geometry cycle pins for the fig7 best-case cells (300 timed
+   pairs of 256-byte blocks).  These are exact virtual-cycle counts,
+   not tolerances. *)
+let pins =
+  Baseline.Allocator.
+    [
+      (Cookie, 1, 17_400);
+      (Newkma, 4, 29_700);
+      (Mk, 2, 283_301);
+      (Oldkma, 2, 879_620);
+    ]
+
+let cell which ncpus =
+  (Workload.Bestcase.run ~which ~ncpus ~iters:300 ~bytes:256 ())
+    .Workload.Bestcase.cycles
+
+let test_fig7_default_geometry_pins () =
+  List.iter
+    (fun (which, ncpus, cycles) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s@%d" (Baseline.Allocator.name_of which) ncpus)
+        cycles (cell which ncpus))
+    pins
+
+(* The same cells with the fast path off — the pre-fast-path simulator
+   must still hit the very same pins. *)
+let test_fig7_pins_slow_path () =
+  Sim.Machine.set_fast_path false;
+  Fun.protect
+    ~finally:(fun () -> Sim.Machine.set_fast_path true)
+    (fun () ->
+      List.iter
+        (fun (which, ncpus, cycles) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s@%d (scheduled)"
+               (Baseline.Allocator.name_of which)
+               ncpus)
+            cycles (cell which ncpus))
+        pins)
+
+let suite =
+  [
+    Alcotest.test_case "fig7 slice: fast = slow" `Quick
+      test_fig7_slice_identical;
+    Alcotest.test_case "E8 slice: fast = slow" `Quick
+      test_pressure_slice_identical;
+    Alcotest.test_case "fig7 default-geometry cycle pins" `Quick
+      test_fig7_default_geometry_pins;
+    Alcotest.test_case "fig7 pins on the scheduled path" `Quick
+      test_fig7_pins_slow_path;
+  ]

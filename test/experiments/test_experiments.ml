@@ -5,4 +5,6 @@ let () =
       ("figures", Test_figures.suite);
       ("trace", Test_trace.suite);
       ("plot", Test_plot.suite);
+      ("equivalence", Test_equivalence.suite);
+      ("geomsweep", Test_geomsweep.suite);
     ]

@@ -1,0 +1,64 @@
+(* E12 at miniature scale: the shape criteria the full-scale table in
+   EXPERIMENTS.md records.  Two claims from the paper's cache-profile
+   analysis, checked as data: widening lines at a fixed line count
+   (more capacity per CPU) lowers the miss rate on the burst workload,
+   and a direct-mapped cache pays conflict misses a fully-associative
+   one of the same capacity does not. *)
+
+let rows =
+  lazy
+    (Experiments.Geomsweep.run
+       ~points:[ (4, 0); (32, 0); (8, 0); (8, 1) ]
+       ~iters:10 ~depth:48 ())
+
+let at which line ways =
+  match
+    List.find_opt
+      (fun (r : Experiments.Geomsweep.row) ->
+        r.Experiments.Geomsweep.which = which
+        && r.Experiments.Geomsweep.line_words = line
+        && r.Experiments.Geomsweep.ways = ways)
+      (Lazy.force rows)
+  with
+  | Some r -> r
+  | None -> Alcotest.fail "missing cell"
+
+let test_line_size_moves_miss_rate () =
+  List.iter
+    (fun which ->
+      let narrow = at which 4 0 and wide = at which 32 0 in
+      Alcotest.(check bool)
+        (Baseline.Allocator.name_of which ^ ": 32-word lines miss less")
+        true
+        (wide.Experiments.Geomsweep.miss_pct
+        < narrow.Experiments.Geomsweep.miss_pct))
+    Baseline.Allocator.[ Newkma; Cookie ]
+
+let test_direct_mapped_pays () =
+  List.iter
+    (fun which ->
+      let full = at which 8 0 and dm = at which 8 1 in
+      Alcotest.(check bool)
+        (Baseline.Allocator.name_of which
+        ^ ": direct-mapped cycles/pair >= fully associative")
+        true
+        (dm.Experiments.Geomsweep.cycles_per_pair
+        >= full.Experiments.Geomsweep.cycles_per_pair))
+    Baseline.Allocator.[ Newkma; Cookie ]
+
+let test_deterministic_and_parallel_identical () =
+  let run jobs =
+    Experiments.Geomsweep.run ~jobs ~points:[ (8, 0); (8, 2) ] ~iters:5
+      ~depth:24 ~ncpus:4 ()
+  in
+  Alcotest.(check bool) "jobs=1 = jobs=3" true (run 1 = run 3)
+
+let suite =
+  [
+    Alcotest.test_case "line size moves the miss rate" `Quick
+      test_line_size_moves_miss_rate;
+    Alcotest.test_case "direct-mapped pays conflicts" `Quick
+      test_direct_mapped_pays;
+    Alcotest.test_case "sweep deterministic across jobs" `Quick
+      test_deterministic_and_parallel_identical;
+  ]

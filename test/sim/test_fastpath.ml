@@ -1,0 +1,130 @@
+(* The fast-path equivalence proof at the machine level: running ANY
+   program with the same-CPU inline fast path disabled (every operation
+   through the effect handler and scheduler, the pre-fast-path mode)
+   and enabled must produce bit-identical virtual time, per-CPU clocks,
+   retired-operation counts, and memory contents.  The experiment-level
+   fig7/E8 proofs live in test/experiments; this one drives randomized
+   multi-CPU programs straight at [Sim.Machine] so shrinking points at
+   the offending operation mix. *)
+
+open Sim
+
+let mem_words = 4096
+
+(* A deterministic mixed-operation program: reads, writes, RMWs, work,
+   raw relaxed spins, and a contended spinlock critical section (the
+   relaxed-Spin inlining leg plus the scheduled TAS leg).  Addresses
+   span the uncached region (first 64 words: the lock and counters) and
+   the cached region, across enough lines to force evictions and
+   cross-CPU invalidations. *)
+let program lock seed len cpu =
+  let st = ref ((seed * 69069) + (cpu * 7919) + 1) in
+  let next () =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    !st
+  in
+  for _ = 1 to len do
+    match next () mod 8 with
+    | 0 -> ignore (Machine.read (64 + (next () mod 1024)))
+    | 1 -> Machine.write (64 + (next () mod 1024)) (next ())
+    | 2 -> ignore (Machine.fetch_add (32 + (next () mod 8)) 1)
+    | 3 -> Machine.work (1 + (next () mod 5))
+    | 4 ->
+        ignore
+          (Machine.cas
+             (40 + (next () mod 8))
+             ~expected:0 ~desired:(next ()))
+    | 5 -> ignore (Machine.swap (48 + (next () mod 8)) (next ()))
+    | 6 ->
+        Spinlock.with_lock lock (fun () ->
+            Machine.write 60 (Machine.read 60 + 1))
+    | _ -> Machine.spin_pause ()
+  done
+
+type snapshot = {
+  elapsed : int;
+  cpu_times : int list;
+  retired : int list;
+  memory : int array;
+}
+
+let execute ~fast (ncpus, seed, len) =
+  Machine.set_fast_path fast;
+  Fun.protect
+    ~finally:(fun () -> Machine.set_fast_path true)
+    (fun () ->
+      let config =
+        Config.make ~ncpus ~memory_words:mem_words ~uncached_words:64 ()
+      in
+      let m = Machine.create config in
+      let lock = Spinlock.init (Machine.memory m) 8 in
+      Machine.run_symmetric m ~ncpus (program lock seed len);
+      {
+        elapsed = Machine.elapsed m;
+        cpu_times =
+          List.init ncpus (fun cpu -> Machine.cpu_time m ~cpu);
+        retired = List.init ncpus (fun cpu -> Machine.retired m ~cpu);
+        memory = Memory.blit_to_host (Machine.memory m) 0 ~len:mem_words;
+      })
+
+let case =
+  QCheck.(
+    triple (int_range 1 4) (int_range 0 1_000_000) (int_range 1 400))
+
+let prop_fast_slow_identical =
+  QCheck.Test.make ~name:"fast path is cycle- and state-identical"
+    ~count:40 case (fun c ->
+      let slow = execute ~fast:false c in
+      let fast = execute ~fast:true c in
+      slow.elapsed = fast.elapsed
+      && slow.cpu_times = fast.cpu_times
+      && slow.retired = fast.retired
+      && slow.memory = fast.memory)
+
+(* The oracle itself: with the fast path forced off, every operation is
+   scheduled, and the toggle reports what it did. *)
+let test_toggle () =
+  Alcotest.(check bool) "default on" true (Machine.fast_path_enabled ());
+  Machine.set_fast_path false;
+  Alcotest.(check bool) "off" false (Machine.fast_path_enabled ());
+  Machine.set_fast_path true;
+  Alcotest.(check bool) "back on" true (Machine.fast_path_enabled ())
+
+(* The non-default geometries matter too: the fast path must commute
+   with capacity misses, set indexing, and changed costs. *)
+let test_identical_under_geometry () =
+  List.iter
+    (fun spec ->
+      let g =
+        match Geometry.of_string spec with
+        | Ok g -> g
+        | Error m -> Alcotest.fail m
+      in
+      let execute fast =
+        Machine.set_fast_path fast;
+        Fun.protect
+          ~finally:(fun () -> Machine.set_fast_path true)
+          (fun () ->
+            let config =
+              Config.make ~geometry:g ~ncpus:3 ~memory_words:mem_words
+                ~uncached_words:64 ()
+            in
+            let m = Machine.create config in
+            let lock = Spinlock.init (Machine.memory m) 8 in
+            Machine.run_symmetric m ~ncpus:3 (program lock 1234 300);
+            (Machine.elapsed m, Memory.blit_to_host (Machine.memory m) 0 ~len:mem_words)
+          )
+      in
+      let slow_t, slow_m = execute false in
+      let fast_t, fast_m = execute true in
+      Alcotest.(check int) (spec ^ ": cycles") slow_t fast_t;
+      Alcotest.(check bool) (spec ^ ": memory") true (slow_m = fast_m))
+    [ "line=4,lines=16"; "lines=32,assoc=2"; "miss=60,c2c=100,rmw=0" ]
+
+let suite =
+  [
+    Alcotest.test_case "fast-path toggle oracle" `Quick test_toggle;
+    QCheck_alcotest.to_alcotest prop_fast_slow_identical;
+    Alcotest.test_case "identical under non-default geometry" `Quick
+      test_identical_under_geometry;
+  ]
