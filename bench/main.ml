@@ -574,6 +574,55 @@ let bench_scenarios () =
       print_newline ();
       Experiments.Scenarios.print_highlights ())
 
+(* --- E13: lock-free allocator arms --- *)
+
+(* Set by --allocs: restricts the lockfree section's arms.  An unknown
+   name is a usage error (exit 2, roster listed) before any section
+   runs, matching kma_bench's converter behaviour. *)
+let lockfree_whichs = ref Experiments.Lockfree_arms.default_whichs
+
+let set_allocs spec =
+  let names = String.split_on_char ',' spec in
+  lockfree_whichs :=
+    List.map
+      (fun n ->
+        match Baseline.Allocator.of_name (String.trim n) with
+        | Some w -> w
+        | None ->
+            Printf.eprintf "bench: unknown allocator %S (valid: %s)\n"
+              (String.trim n) Baseline.Allocator.roster_string;
+            exit 2)
+      names
+
+let bench_lockfree () =
+  wall (fun () ->
+      let whichs = !lockfree_whichs in
+      match
+        Experiments.Lockfree_arms.run ~jobs:(effective_jobs ()) ~whichs
+          ~cpus:[ 1; 2; 4; 8; 16; 26 ] ~iters:400 ()
+      with
+      | points ->
+          Experiments.Lockfree_arms.print_throughput points;
+          Experiments.Lockfree_arms.print_retries points;
+          let remote =
+            Experiments.Lockfree_arms.run_crosscpu
+              ~jobs:(effective_jobs ()) ~whichs ~pairs:[ 1; 2; 4; 8 ]
+              ~blocks_per_pair:300 ()
+          in
+          Experiments.Lockfree_arms.print_crosscpu remote;
+          let storm =
+            Experiments.Lockfree_arms.run_storm ~jobs:(effective_jobs ())
+              ~whichs:
+                (List.filter
+                   (fun w -> List.mem w Baseline.Allocator.lockfree)
+                   whichs)
+              ~cpus:[ 1; 2; 4; 8; 16; 26 ] ()
+          in
+          Experiments.Lockfree_arms.print_storm storm
+      | exception Experiments.Lockfree_arms.Conservation msg ->
+          Printf.eprintf "bench: lockfree conservation violated: %s\n" msg;
+          exit 1)
+
 (* --- E12: cache-geometry sweep --- *)
 
 let bench_geometry () =
@@ -592,6 +641,7 @@ let sections =
     ("ablation-target", bench_ablation_target);
     ("ablation-pagepolicy", bench_ablation_page_policy);
     ("crosscpu", bench_crosscpu);
+    ("lockfree", bench_lockfree);
     ("scenarios", bench_scenarios);
     ("roads-not-taken", bench_roads_not_taken);
     ("bechamel", bechamel_suite);
@@ -612,8 +662,8 @@ let default_sections =
 let parallel_sections =
   [
     "opcounts"; "fig7"; "fig9"; "geometry"; "ablation-target";
-    "ablation-pagepolicy"; "crosscpu"; "scenarios"; "roads-not-taken";
-    "pressure"; "fuzz";
+    "ablation-pagepolicy"; "crosscpu"; "lockfree"; "scenarios";
+    "roads-not-taken"; "pressure"; "fuzz";
   ]
 
 let host_json = ref (Some "BENCH_host.json")
@@ -757,6 +807,16 @@ let () =
     | [ "--geometry" ] ->
         prerr_endline "bench: --geometry needs a spec (key=value,...)";
         exit 2
+    | "--allocs" :: spec :: rest ->
+        set_allocs spec;
+        parse rest names
+    | [ "--allocs" ] ->
+        prerr_endline "bench: --allocs needs a comma-separated list of names";
+        exit 2
+    | arg :: rest
+      when String.length arg > 9 && String.sub arg 0 9 = "--allocs=" ->
+        set_allocs (String.sub arg 9 (String.length arg - 9));
+        parse rest names
     | arg :: rest
       when String.length arg > 11 && String.sub arg 0 11 = "--geometry=" ->
         set_geometry (String.sub arg 11 (String.length arg - 11));

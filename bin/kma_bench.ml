@@ -124,6 +124,33 @@ let with_geometry g f =
   (match g with Some g -> Sim.Geometry.set_ambient g | None -> ());
   f ()
 
+(* Allocator names are user input on several subcommands; an unknown
+   name must fail usage-style with the full roster, so a typo never
+   silently falls back to a default arm. *)
+let alloc_conv =
+  let parse s =
+    match Baseline.Allocator.of_name s with
+    | Some w -> Ok w
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown allocator %s (valid: %s)" s
+               Baseline.Allocator.roster_string))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf (Baseline.Allocator.name_of w)
+  in
+  Arg.conv (parse, print)
+
+let allocs_flag ~default =
+  Arg.(
+    value
+    & opt (list alloc_conv) default
+    & info [ "allocs" ] ~docv:"NAME,NAME,..."
+        ~doc:
+          (Printf.sprintf "Allocator arms to sweep (any of: %s)."
+             Baseline.Allocator.roster_string))
+
 let fig7_cmd =
   let cpus =
     Arg.(
@@ -150,9 +177,10 @@ let fig7_cmd =
       & info [ "gnuplot" ] ~docv:"PREFIX"
           ~doc:"Write PREFIX.dat and PREFIX.gp for rendering with gnuplot.")
   in
-  let run geometry cpus iters bytes semilog gnuplot jobs =
+  let whichs = allocs_flag ~default:Baseline.Allocator.all in
+  let run geometry whichs cpus iters bytes semilog gnuplot jobs =
     with_geometry geometry @@ fun () ->
-    let points = Experiments.Fig7.run ~jobs ~cpus ~iters ~bytes () in
+    let points = Experiments.Fig7.run ~jobs ~whichs ~cpus ~iters ~bytes () in
     Experiments.Fig7.print_linear points;
     if semilog then Experiments.Fig7.print_semilog points;
     (match gnuplot with
@@ -162,16 +190,22 @@ let fig7_cmd =
         Printf.printf "wrote %s.{dat,gp} and %s-semilog.{dat,gp}\n" prefix
           prefix
     | None -> ());
-    Printf.printf "\nsingle-CPU cookie/oldkma ratio: %.1fx\n"
-      (Experiments.Fig7.single_cpu_ratio points
-         ~num:Baseline.Allocator.Cookie ~den:Baseline.Allocator.Oldkma)
+    if
+      List.mem Baseline.Allocator.Cookie whichs
+      && List.mem Baseline.Allocator.Oldkma whichs
+    then
+      Printf.printf "\nsingle-CPU cookie/oldkma ratio: %.1fx\n"
+        (Experiments.Fig7.single_cpu_ratio points
+           ~num:Baseline.Allocator.Cookie ~den:Baseline.Allocator.Oldkma)
   in
   Cmd.v
     (Cmd.info "fig7"
-       ~doc:"Best-case pairs/s vs CPUs for all four allocators (Figure 7).")
+       ~doc:
+         "Best-case pairs/s vs CPUs (Figure 7); $(b,--allocs) swaps in \
+          any arm from the laboratory roster.")
     Term.(
-      const run $ geometry_flag $ cpus $ iters $ bytes $ semilog $ gnuplot
-      $ jobs_flag)
+      const run $ geometry_flag $ whichs $ cpus $ iters $ bytes $ semilog
+      $ gnuplot $ jobs_flag)
 
 let fig8_cmd =
   let cpus =
@@ -181,30 +215,20 @@ let fig8_cmd =
       & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
   in
   let iters = Arg.(value & opt int 2000 & info [ "iters" ] ~doc:"Pairs/CPU.") in
-  let run cpus iters jobs =
-    let points = Experiments.Fig7.run ~jobs ~cpus ~iters () in
+  let whichs = allocs_flag ~default:Baseline.Allocator.all in
+  let run whichs cpus iters jobs =
+    let points = Experiments.Fig7.run ~jobs ~whichs ~cpus ~iters () in
     Experiments.Fig7.print_semilog points
   in
   Cmd.v
     (Cmd.info "fig8" ~doc:"Same data as fig7 on a semilog scale (Figure 8).")
-    Term.(const run $ cpus $ iters $ jobs_flag)
+    Term.(const run $ whichs $ cpus $ iters $ jobs_flag)
 
 let fig9_cmd =
-  let which =
-    let parse s =
-      match Baseline.Allocator.of_name s with
-      | Some w -> Ok w
-      | None -> Error (`Msg ("unknown allocator " ^ s))
-    in
-    let print ppf w =
-      Format.pp_print_string ppf (Baseline.Allocator.name_of w)
-    in
-    Arg.conv (parse, print)
-  in
   let alloc =
     Arg.(
       value
-      & opt which Baseline.Allocator.Newkma
+      & opt alloc_conv Baseline.Allocator.Newkma
       & info [ "allocator" ] ~doc:"Allocator to sweep.")
   in
   let memory =
@@ -768,6 +792,73 @@ let scenario_cmd =
       const run $ name_arg $ seed $ scale $ cpus $ windows $ report
       $ heapcheck_flag)
 
+let lockfree_cmd =
+  let cpus =
+    Arg.(
+      value
+      & opt cpu_list_conv Experiments.Lockfree_arms.default_cpus
+      & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 2000
+      & info [ "iters" ] ~doc:"Timed alloc/free pairs per CPU.")
+  in
+  let bytes =
+    Arg.(value & opt int 256 & info [ "bytes" ] ~doc:"Block size.")
+  in
+  let whichs =
+    allocs_flag ~default:Experiments.Lockfree_arms.default_whichs
+  in
+  let pairs =
+    Arg.(
+      value
+      & opt cpu_list_conv Experiments.Lockfree_arms.default_pairs
+      & info [ "pairs" ]
+          ~docv:"N,N,..."
+          ~doc:
+            "Producer/consumer pair counts for the remote-free companion \
+             sweep (each pair is 2 CPUs).")
+  in
+  let blocks =
+    Arg.(
+      value & opt int 400
+      & info [ "blocks" ] ~doc:"Blocks transferred per pair (remote sweep).")
+  in
+  let run geometry whichs cpus iters bytes pairs blocks jobs =
+    with_geometry geometry @@ fun () ->
+    match Experiments.Lockfree_arms.run ~jobs ~whichs ~cpus ~iters ~bytes () with
+    | points -> (
+        Experiments.Lockfree_arms.print_throughput points;
+        Experiments.Lockfree_arms.print_retries points;
+        let remote =
+          Experiments.Lockfree_arms.run_crosscpu ~jobs ~whichs ~pairs
+            ~blocks_per_pair:blocks ~bytes ()
+        in
+        Experiments.Lockfree_arms.print_crosscpu remote;
+        let storm =
+          Experiments.Lockfree_arms.run_storm ~jobs
+            ~whichs:
+              (List.filter
+                 (fun w -> List.mem w Baseline.Allocator.lockfree)
+                 whichs)
+            ~cpus ()
+        in
+        Experiments.Lockfree_arms.print_storm storm)
+    | exception Experiments.Lockfree_arms.Conservation msg ->
+        Printf.eprintf "kma_bench lockfree: conservation violated: %s\n" msg;
+        exit 3
+  in
+  Cmd.v
+    (Cmd.info "lockfree"
+       ~doc:
+         "Lock-based vs lock-free head-to-head (E13): the Figure 7 \
+          methodology over the non-blocking arms, with CAS-retry and \
+          helping counters and a conservation check per cell.")
+    Term.(
+      const run $ geometry_flag $ whichs $ cpus $ iters $ bytes $ pairs
+      $ blocks $ jobs_flag)
+
 let geometry_cmd =
   let ncpus =
     Arg.(value & opt cpus_conv 8 & info [ "cpus" ] ~doc:"CPUs per cell.")
@@ -827,6 +918,6 @@ let () =
        (Cmd.group ~default info
           [
             fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
-            missrates_cmd; geometry_cmd; pressure_cmd; fuzz_cmd; cyclic_cmd;
-            crosscpu_cmd; trace_cmd; scenario_cmd;
+            missrates_cmd; geometry_cmd; lockfree_cmd; pressure_cmd;
+            fuzz_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd; scenario_cmd;
           ]))

@@ -4,9 +4,11 @@ type t = {
   free : addr:int -> bytes:int -> unit;
 }
 
-type which = Cookie | Newkma | Mk | Oldkma | Lazybuddy
+type which = Cookie | Newkma | Mk | Oldkma | Lazybuddy | Nbbuddy | Bwfixed
 
 let all = [ Cookie; Newkma; Mk; Oldkma ]
+let extras = [ Lazybuddy; Nbbuddy; Bwfixed ]
+let lockfree = [ Nbbuddy; Bwfixed ]
 
 let name_of = function
   | Cookie -> "cookie"
@@ -14,6 +16,11 @@ let name_of = function
   | Mk -> "mk"
   | Oldkma -> "oldkma"
   | Lazybuddy -> "lazybuddy"
+  | Nbbuddy -> "nbbuddy"
+  | Bwfixed -> "bwfixed"
+
+let roster = List.map name_of (all @ extras)
+let roster_string = String.concat ", " roster
 
 let of_name = function
   | "cookie" -> Some Cookie
@@ -21,6 +28,8 @@ let of_name = function
   | "mk" -> Some Mk
   | "oldkma" -> Some Oldkma
   | "lazybuddy" -> Some Lazybuddy
+  | "nbbuddy" -> Some Nbbuddy
+  | "bwfixed" -> Some Bwfixed
   | _ -> None
 
 let auto_params machine =
@@ -90,10 +99,66 @@ let create_lazybuddy machine =
     free = (fun ~addr ~bytes -> Lazybuddy.free b ~addr ~bytes);
   }
 
-let create which machine =
+type probe = {
+  stats : Lockfree.Stats.t option;
+  drained : unit -> string option;
+}
+
+let unprobed = { stats = None; drained = (fun () -> None) }
+
+let create_nbbuddy machine =
+  let b = Lockfree.Nbbuddy.create machine in
+  ( {
+      name = "nbbuddy";
+      alloc = (fun ~bytes -> Lockfree.Nbbuddy.alloc b ~bytes);
+      free = (fun ~addr ~bytes -> Lockfree.Nbbuddy.free b ~addr ~bytes);
+    },
+    {
+      stats = Some (Lockfree.Nbbuddy.stats b);
+      drained =
+        (fun () ->
+          match Lockfree.Nbbuddy.invariant_oracle b with
+          | Some _ as err -> err
+          | None ->
+              let words = Lockfree.Nbbuddy.allocated_words_oracle b in
+              if words <> 0 then
+                Some (Printf.sprintf "%d words still allocated" words)
+              else None);
+    } )
+
+let create_bwfixed machine =
+  let b = Lockfree.Bwfixed.create machine in
+  ( {
+      name = "bwfixed";
+      alloc = (fun ~bytes -> Lockfree.Bwfixed.alloc b ~bytes);
+      free = (fun ~addr ~bytes -> Lockfree.Bwfixed.free b ~addr ~bytes);
+    },
+    {
+      stats = Some (Lockfree.Bwfixed.stats b);
+      drained =
+        (fun () ->
+          let rec go c =
+            if c > 8 then None
+            else
+              let total = Lockfree.Bwfixed.blocks_of_class b ~c in
+              let free = Lockfree.Bwfixed.free_blocks_oracle b ~c in
+              if free <> total then
+                Some
+                  (Printf.sprintf "class %d: %d of %d blocks free" c free
+                     total)
+              else go (c + 1)
+          in
+          go 0);
+    } )
+
+let create_probed which machine =
   match which with
-  | Cookie -> create_cookie machine
-  | Newkma -> create_newkma machine
-  | Mk -> create_mk machine
-  | Oldkma -> create_oldkma machine
-  | Lazybuddy -> create_lazybuddy machine
+  | Cookie -> (create_cookie machine, unprobed)
+  | Newkma -> (create_newkma machine, unprobed)
+  | Mk -> (create_mk machine, unprobed)
+  | Oldkma -> (create_oldkma machine, unprobed)
+  | Lazybuddy -> (create_lazybuddy machine, unprobed)
+  | Nbbuddy -> create_nbbuddy machine
+  | Bwfixed -> create_bwfixed machine
+
+let create which machine = fst (create_probed which machine)

@@ -1,0 +1,329 @@
+type point = {
+  which : Baseline.Allocator.which;
+  ncpus : int;
+  pairs : int;
+  pairs_per_sec : float;
+  stats : Lockfree.Stats.t option;
+}
+
+let default_cpus = [ 1; 2; 4; 8; 12; 16; 20; 26 ]
+let default_whichs =
+  Baseline.Allocator.[ Cookie; Newkma; Nbbuddy; Bwfixed ]
+
+exception Conservation of string
+
+let cell ~which ~ncpus ~iters ~bytes =
+  let m = Sim.Machine.create (Workload.Rig.paper_config ~ncpus ()) in
+  let a, probe = Baseline.Allocator.create_probed which m in
+  let pair () =
+    (* the Bestcase shape (same loop overhead) so throughput is
+       directly comparable with the Fig 7 numbers *)
+    Sim.Machine.work Workload.Bestcase.loop_overhead;
+    let addr = a.Baseline.Allocator.alloc ~bytes in
+    assert (addr <> 0);
+    a.Baseline.Allocator.free ~addr ~bytes
+  in
+  let warmup = (iters / 10) + 1 in
+  Sim.Machine.run_symmetric m ~ncpus (fun _ ->
+      for _ = 1 to warmup do
+        pair ()
+      done);
+  Sim.Machine.reset_clocks m;
+  Option.iter Lockfree.Stats.reset probe.Baseline.Allocator.stats;
+  Sim.Machine.run_symmetric m ~ncpus (fun _ ->
+      for _ = 1 to iters do
+        pair ()
+      done);
+  (match probe.Baseline.Allocator.drained () with
+  | None -> ()
+  | Some msg ->
+      raise
+        (Conservation
+           (Printf.sprintf "%s at %d CPUs: %s"
+              (Baseline.Allocator.name_of which)
+              ncpus msg)));
+  let cycles = Sim.Machine.elapsed m in
+  let pairs = ncpus * iters in
+  {
+    which;
+    ncpus;
+    pairs;
+    pairs_per_sec =
+      Workload.Rig.pairs_per_sec (Sim.Machine.config m) ~pairs ~cycles;
+    stats =
+      (* copy the counters out: the instance dies with this cell *)
+      Option.map Lockfree.Stats.copy probe.Baseline.Allocator.stats;
+  }
+
+let run ?(jobs = 1) ?(whichs = default_whichs) ?(cpus = default_cpus)
+    ?(iters = 2000) ?(bytes = 256) () =
+  Parallel.map ~jobs
+    (fun (which, ncpus) -> cell ~which ~ncpus ~iters ~bytes)
+    (List.concat_map
+       (fun which -> List.map (fun ncpus -> (which, ncpus)) cpus)
+       whichs)
+
+let print_throughput points =
+  Series.heading
+    "E13: lock-based vs lock-free, best-case alloc/free pairs per second";
+  let cols = List.sort_uniq compare (List.map (fun p -> p.which) points) in
+  let cpus = List.sort_uniq compare (List.map (fun p -> p.ncpus) points) in
+  Series.table
+    ~header:("cpus" :: List.map Baseline.Allocator.name_of cols)
+    (List.map
+       (fun n ->
+         string_of_int n
+         :: List.map
+              (fun w ->
+                match
+                  List.find_opt (fun p -> p.which = w && p.ncpus = n) points
+                with
+                | Some p -> Series.sci p.pairs_per_sec
+                | None -> "-")
+              cols)
+       cpus)
+
+type storm_point = {
+  swhich : Baseline.Allocator.which;
+  sncpus : int;
+  sops : int;
+  sops_per_sec : float;
+  sstats : Lockfree.Stats.t option;
+}
+
+let storm_cell ~which ~ncpus ~iters ~seed =
+  let m =
+    Sim.Machine.create
+      (Workload.Rig.paper_config ~memory_words:(256 * 1024) ~ncpus ())
+  in
+  let a, probe = Baseline.Allocator.create_probed which m in
+  let ops = ref 0 in
+  Sim.Machine.run_symmetric m ~ncpus (fun cpu ->
+      (* Mixed sizes, random alloc/free order, everything on one shared
+         arena: the shape that makes nbbuddy's overlapping subtree
+         marks collide (conflict -> rollback), which neither the
+         best-case sweep (private steady state) nor the remote-free
+         flow (disjoint per-pair regions) can provoke. *)
+      let seed = ref ((cpu * 7919) + seed) in
+      let next () =
+        seed := ((!seed * 25214903917) + 11) land ((1 lsl 48) - 1);
+        !seed
+      in
+      let live = Array.make 8 (0, 0) in
+      let mine = ref 0 in
+      for _ = 1 to iters do
+        let slot = next () mod 8 in
+        let addr, bytes = live.(slot) in
+        if addr <> 0 then begin
+          a.Baseline.Allocator.free ~addr ~bytes;
+          live.(slot) <- (0, 0);
+          incr mine
+        end
+        else begin
+          let bytes = 16 lsl (next () mod 6) in
+          let addr = a.Baseline.Allocator.alloc ~bytes in
+          if addr <> 0 then begin
+            live.(slot) <- (addr, bytes);
+            incr mine
+          end
+        end
+      done;
+      Array.iteri
+        (fun i (addr, bytes) ->
+          if addr <> 0 then begin
+            a.Baseline.Allocator.free ~addr ~bytes;
+            live.(i) <- (0, 0)
+          end)
+        live;
+      ops := !ops + !mine);
+  (match probe.Baseline.Allocator.drained () with
+  | None -> ()
+  | Some msg ->
+      raise
+        (Conservation
+           (Printf.sprintf "storm: %s at %d CPUs: %s"
+              (Baseline.Allocator.name_of which)
+              ncpus msg)));
+  let cycles = Sim.Machine.elapsed m in
+  {
+    swhich = which;
+    sncpus = ncpus;
+    sops = !ops;
+    sops_per_sec =
+      Workload.Rig.pairs_per_sec (Sim.Machine.config m) ~pairs:!ops ~cycles;
+    sstats = Option.map Lockfree.Stats.copy probe.Baseline.Allocator.stats;
+  }
+
+let run_storm ?(jobs = 1) ?(whichs = Baseline.Allocator.lockfree)
+    ?(cpus = default_cpus) ?(iters = 600) ?(seed = 13) () =
+  Parallel.map ~jobs
+    (fun (which, ncpus) -> storm_cell ~which ~ncpus ~iters ~seed)
+    (List.concat_map
+       (fun which -> List.map (fun ncpus -> (which, ncpus)) cpus)
+       whichs)
+
+let print_storm points =
+  Series.heading
+    "E13: mixed-size storm (overlapping claims), CAS-retry counters";
+  let rows =
+    List.filter_map
+      (fun p ->
+        match p.sstats with
+        | None -> None
+        | Some s ->
+            let fail_rate =
+              if s.Lockfree.Stats.cas_attempts = 0 then nan
+              else
+                float_of_int s.Lockfree.Stats.cas_failures
+                /. float_of_int s.Lockfree.Stats.cas_attempts
+            in
+            Some
+              [
+                Baseline.Allocator.name_of p.swhich;
+                string_of_int p.sncpus;
+                string_of_int p.sops;
+                Series.sci p.sops_per_sec;
+                string_of_int s.Lockfree.Stats.cas_attempts;
+                string_of_int s.Lockfree.Stats.cas_failures;
+                Series.pct fail_rate;
+                string_of_int s.Lockfree.Stats.mark_rmws;
+                string_of_int s.Lockfree.Stats.conflicts;
+                string_of_int s.Lockfree.Stats.helps;
+                string_of_int s.Lockfree.Stats.refills;
+                string_of_int s.Lockfree.Stats.flushes;
+              ])
+      points
+  in
+  Series.table
+    ~header:
+      [
+        "alloc"; "cpus"; "ops"; "ops/s"; "cas"; "fail"; "fail%"; "marks";
+        "conflicts"; "helps"; "refills"; "flushes";
+      ]
+    rows
+
+type remote_point = {
+  rwhich : Baseline.Allocator.which;
+  rpairs : int;
+  transfers : int;
+  transfers_per_sec : float;
+  rstats : Lockfree.Stats.t option;
+}
+
+let default_pairs = [ 1; 2; 4; 8; 13 ]
+
+let run_crosscpu ?(jobs = 1) ?(whichs = default_whichs)
+    ?(pairs = default_pairs) ?(blocks_per_pair = 400) ?(bytes = 256) () =
+  Parallel.map ~jobs
+    (fun (rwhich, p) ->
+      let r =
+        Workload.Crosscpu.run ~which:rwhich ~pairs:p ~blocks_per_pair ~bytes
+          ()
+      in
+      {
+        rwhich;
+        rpairs = p;
+        transfers = r.Workload.Crosscpu.transfers;
+        transfers_per_sec = r.Workload.Crosscpu.transfers_per_sec;
+        rstats = r.Workload.Crosscpu.stats;
+      })
+    (List.concat_map
+       (fun w -> List.map (fun p -> (w, p)) pairs)
+       whichs)
+
+let print_crosscpu points =
+  Series.heading
+    "E13: cross-CPU producer/consumer (remote frees), transfers per second";
+  let cols = List.sort_uniq compare (List.map (fun p -> p.rwhich) points) in
+  let pairs = List.sort_uniq compare (List.map (fun p -> p.rpairs) points) in
+  Series.table
+    ~header:("pairs" :: List.map Baseline.Allocator.name_of cols)
+    (List.map
+       (fun n ->
+         string_of_int n
+         :: List.map
+              (fun w ->
+                match
+                  List.find_opt
+                    (fun p -> p.rwhich = w && p.rpairs = n)
+                    points
+                with
+                | Some p -> Series.sci p.transfers_per_sec
+                | None -> "-")
+              cols)
+       pairs);
+  let rows =
+    List.filter_map
+      (fun p ->
+        match p.rstats with
+        | None -> None
+        | Some s ->
+            let fail_rate =
+              if s.Lockfree.Stats.cas_attempts = 0 then nan
+              else
+                float_of_int s.Lockfree.Stats.cas_failures
+                /. float_of_int s.Lockfree.Stats.cas_attempts
+            in
+            Some
+              [
+                Baseline.Allocator.name_of p.rwhich;
+                string_of_int p.rpairs;
+                string_of_int p.transfers;
+                string_of_int s.Lockfree.Stats.cas_attempts;
+                string_of_int s.Lockfree.Stats.cas_failures;
+                Series.pct fail_rate;
+                string_of_int s.Lockfree.Stats.mark_rmws;
+                string_of_int s.Lockfree.Stats.conflicts;
+                string_of_int s.Lockfree.Stats.helps;
+                string_of_int s.Lockfree.Stats.refills;
+                string_of_int s.Lockfree.Stats.flushes;
+              ])
+      points
+  in
+  if rows <> [] then (
+    Series.heading "E13: remote-free CAS-retry and helping counters";
+    Series.table
+      ~header:
+        [
+          "alloc"; "pairs"; "xfers"; "cas"; "fail"; "fail%"; "marks";
+          "conflicts"; "helps"; "refills"; "flushes";
+        ]
+      rows)
+
+let print_retries points =
+  Series.heading "E13: CAS-retry and helping counters (whole timed region)";
+  let rows =
+    List.filter_map
+      (fun p ->
+        match p.stats with
+        | None -> None
+        | Some s ->
+            let fail_rate =
+              if s.Lockfree.Stats.cas_attempts = 0 then nan
+              else
+                float_of_int s.Lockfree.Stats.cas_failures
+                /. float_of_int s.Lockfree.Stats.cas_attempts
+            in
+            Some
+              [
+                Baseline.Allocator.name_of p.which;
+                string_of_int p.ncpus;
+                string_of_int p.pairs;
+                string_of_int s.Lockfree.Stats.cas_attempts;
+                string_of_int s.Lockfree.Stats.cas_failures;
+                Series.pct fail_rate;
+                string_of_int s.Lockfree.Stats.mark_rmws;
+                string_of_int s.Lockfree.Stats.conflicts;
+                string_of_int s.Lockfree.Stats.helps;
+                string_of_int s.Lockfree.Stats.refills;
+                string_of_int s.Lockfree.Stats.flushes;
+              ])
+      points
+  in
+  Series.table
+    ~header:
+      [
+        "alloc"; "cpus"; "pairs"; "cas"; "fail"; "fail%"; "marks";
+        "conflicts"; "helps"; "refills"; "flushes";
+      ]
+    rows

@@ -1,5 +1,7 @@
 (** Row/series printing for the experiment harness: aligned tables on
-    stdout and machine-readable TSV. *)
+    stdout and machine-readable TSV.  Reproduction infrastructure with
+    no paper counterpart — the formatting idiom every experiment's
+    tables share. *)
 
 val table : header:string list -> string list list -> unit
 (** [table ~header rows] prints an aligned table. *)

@@ -1,0 +1,63 @@
+(** Constant-time concurrent fixed-size allocation in the style of
+    Blelloch & Wei (PAPERS.md: "Concurrent Fixed-Size Allocation and
+    Free in Constant Time"); an extension arm beyond the paper's four
+    lock-based allocators.
+
+    Nine segregated size classes, each an equal share of the arena.
+    Per CPU and class, a private stack of claimed blocks on the CPU's
+    own cache lines serves the hot path; the shared per-class Treiber
+    stack holds batches of [8] blocks behind a single tagged head word,
+    so a refill or flush is one CAS per 8 blocks and the common
+    alloc/free touches no shared word at all — the paper's per-CPU
+    freelist shape rebuilt without the lock.  The head word packs a
+    generation tag beside the address to defeat ABA.
+
+    Linearization: an [alloc] served from the private stack linearizes
+    at its private count-word write (the stack is single-owner, so this
+    is trivially atomic); a refill linearizes at the successful head CAS
+    that detaches a batch, and a flush at the head CAS that publishes
+    one.  Every shared-stack CAS failure is counted in {!stats}.
+
+    Invariants: per class, blocks on the shared stack plus blocks in
+    every CPU's private stack plus blocks held by callers equal
+    {!blocks_of_class} (conservation — checked by the [test/lockfree]
+    hammer); a block is on at most one stack at a time. *)
+
+type t
+
+val create : Sim.Machine.t -> t
+(** [create machine] carves the machine's memory into per-class arenas,
+    pre-batches every block onto the shared stacks, and zeroes the
+    private stacks (all host-side).  Use a fresh machine per allocator.
+    @raise Invalid_argument if memory is too small. *)
+
+val alloc : t -> bytes:int -> int
+(** [alloc t ~bytes] takes a block of the smallest class >= [bytes]
+    (classes 16 B .. 4096 B); 0 when the class's shared stack and this
+    CPU's private stack are both empty, or for sizes above 4096 B.
+    Blocks parked on OTHER CPUs' private stacks are not stolen, so
+    exhaustion is per-CPU-visible, not global (documented trade-off of
+    the design).  Simulated; lock-free.
+    @raise Invalid_argument if [bytes <= 0]. *)
+
+val free : t -> addr:int -> bytes:int -> unit
+(** [free t ~addr ~bytes] returns a block to this CPU's private stack,
+    flushing a batch to the shared stack when it overfills.  Simulated;
+    lock-free. *)
+
+val stats : t -> Stats.t
+(** CAS/refill/flush counters for this instance (host-side, zero
+    simulated cost). *)
+
+(** {1 Host-side oracles (uncharged, for tests and experiment checks)} *)
+
+val blocks_of_class : t -> c:int -> int
+(** Total blocks carved for class [c] (0..8). *)
+
+val free_blocks_oracle : t -> c:int -> int
+(** Blocks of class [c] currently free: shared batches plus every CPU's
+    private stack.  Only meaningful at quiescence. *)
+
+val total_free_words_oracle : t -> int
+(** Free words across all classes (conservation partner of the blocks
+    held by callers). *)

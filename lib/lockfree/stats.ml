@@ -1,0 +1,37 @@
+type t = {
+  mutable cas_attempts : int;
+  mutable cas_failures : int;
+  mutable mark_rmws : int;
+  mutable conflicts : int;
+  mutable helps : int;
+  mutable refills : int;
+  mutable flushes : int;
+}
+
+let create () =
+  {
+    cas_attempts = 0;
+    cas_failures = 0;
+    mark_rmws = 0;
+    conflicts = 0;
+    helps = 0;
+    refills = 0;
+    flushes = 0;
+  }
+
+let reset t =
+  t.cas_attempts <- 0;
+  t.cas_failures <- 0;
+  t.mark_rmws <- 0;
+  t.conflicts <- 0;
+  t.helps <- 0;
+  t.refills <- 0;
+  t.flushes <- 0
+
+let copy t = { t with cas_attempts = t.cas_attempts }
+
+let to_string t =
+  Printf.sprintf
+    "cas=%d fail=%d mark=%d conflict=%d help=%d refill=%d flush=%d"
+    t.cas_attempts t.cas_failures t.mark_rmws t.conflicts t.helps t.refills
+    t.flushes

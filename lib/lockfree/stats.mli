@@ -1,0 +1,49 @@
+(** Host-side retry/helping counters for the lock-free allocator arms.
+
+    Lock-free progress is paid for in retries: a failed CAS or a helping
+    repair is invisible in a throughput number but very visible on the
+    simulated bus.  Each allocator instance owns one of these records and
+    bumps it from host code as its simulated protocol runs, so the counts
+    cost zero simulated cycles (same discipline as the flight recorder)
+    and are exactly reproducible run to run.  The E13 chapter's CAS-retry
+    tables (see PAPERS.md: Marotta et al.'s non-blocking buddy system,
+    and Blelloch & Wei's constant-time fixed-size allocator) are printed
+    straight from these.
+
+    Counters are per-instance, so domain-parallel sweeps (one machine and
+    one allocator per domain) never share a record.
+
+    Invariants: [cas_failures <= cas_attempts]; every counter is
+    monotone between {!reset}s; identical seeded runs yield identical
+    counts (asserted by the determinism test in [test/lockfree]). *)
+
+type t = {
+  mutable cas_attempts : int;  (** CAS operations issued *)
+  mutable cas_failures : int;  (** CAS operations that lost a race *)
+  mutable mark_rmws : int;
+      (** ancestor-marking / unmarking atomic OR/AND operations
+          (non-blocking buddy only) *)
+  mutable conflicts : int;
+      (** allocations rolled back after meeting an allocated ancestor
+          (non-blocking buddy only) *)
+  mutable helps : int;
+      (** helping repairs: an occupancy bit re-set on behalf of a
+          concurrent allocation observed during unmarking *)
+  mutable refills : int;
+      (** batch pops from a shared free stack (fixed-size arm only) *)
+  mutable flushes : int;
+      (** batch pushes to a shared free stack (fixed-size arm only) *)
+}
+
+val create : unit -> t
+(** [create ()] is a zeroed record. *)
+
+val copy : t -> t
+(** Snapshot of the current counts, detached from the live record. *)
+
+val reset : t -> unit
+(** [reset t] zeroes every counter (e.g. after warmup, before the timed
+    region — mirrors [Sim.Machine.reset_clocks]). *)
+
+val to_string : t -> string
+(** One-line rendering for tables and logs. *)

@@ -6,7 +6,10 @@ type op =
   | Read of Memory.addr
   | Write of Memory.addr * int
   | Cas of Memory.addr * int * int
+  | Casv of Memory.addr * int * int
   | Faa of Memory.addr * int
+  | For of Memory.addr * int
+  | Fand of Memory.addr * int
   | Swap of Memory.addr * int
   | Work of int
   | Spin
@@ -232,11 +235,35 @@ let exec_cas t (c : cpu) a expected desired =
   end
   else 0
 
+(* CAS returning the witnessed value: the lock-free allocators' retry
+   loops re-CAS from the value that defeated them instead of paying a
+   separate reload.  Same charge as [exec_cas] whether it wins or not. *)
+let exec_casv t (c : cpu) a expected desired =
+  c.time <- c.time + mem_access t c a Cache.Rmw + t.cfg.rmw_cost;
+  c.nretired <- c.nretired + 1;
+  let cur = Memory.get t.memory a in
+  if cur = expected then Memory.set t.memory a desired;
+  cur
+
 let exec_faa t (c : cpu) a n =
   c.time <- c.time + mem_access t c a Cache.Rmw + t.cfg.rmw_cost;
   c.nretired <- c.nretired + 1;
   let old = Memory.get t.memory a in
   Memory.set t.memory a (old + n);
+  old
+
+let exec_for t (c : cpu) a n =
+  c.time <- c.time + mem_access t c a Cache.Rmw + t.cfg.rmw_cost;
+  c.nretired <- c.nretired + 1;
+  let old = Memory.get t.memory a in
+  Memory.set t.memory a (old lor n);
+  old
+
+let exec_fand t (c : cpu) a n =
+  c.time <- c.time + mem_access t c a Cache.Rmw + t.cfg.rmw_cost;
+  c.nretired <- c.nretired + 1;
+  let old = Memory.get t.memory a in
+  Memory.set t.memory a (old land n);
   old
 
 let exec_swap t (c : cpu) a v =
@@ -290,7 +317,10 @@ let exec t (c : cpu) (o : op) : int =
   | Read a -> exec_read t c a
   | Write (a, v) -> exec_write t c a v
   | Cas (a, expected, desired) -> exec_cas t c a expected desired
+  | Casv (a, expected, desired) -> exec_casv t c a expected desired
   | Faa (a, n) -> exec_faa t c a n
+  | For (a, n) -> exec_for t c a n
+  | Fand (a, n) -> exec_fand t c a n
   | Swap (a, v) -> exec_swap t c a v
   | Work n -> exec_work t c n
   | Spin -> exec_spin t c
@@ -385,12 +415,33 @@ let cas a ~expected ~desired =
       exec_cas t (Array.unsafe_get t.cpus ctx.cur) a expected desired = 1
   | _ -> perform_op (Cas (a, expected, desired)) = 1
 
+let cas_val a ~expected ~desired =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      exec_casv t (Array.unsafe_get t.cpus ctx.cur) a expected desired
+  | _ -> perform_op (Casv (a, expected, desired))
+
 let fetch_add a n =
   let ctx = fast_ctx () in
   match ctx.mach with
   | Some t when may_inline ctx ->
       exec_faa t (Array.unsafe_get t.cpus ctx.cur) a n
   | _ -> perform_op (Faa (a, n))
+
+let fetch_or a n =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      exec_for t (Array.unsafe_get t.cpus ctx.cur) a n
+  | _ -> perform_op (For (a, n))
+
+let fetch_and a n =
+  let ctx = fast_ctx () in
+  match ctx.mach with
+  | Some t when may_inline ctx ->
+      exec_fand t (Array.unsafe_get t.cpus ctx.cur) a n
+  | _ -> perform_op (Fand (a, n))
 
 let swap a v =
   let ctx = fast_ctx () in

@@ -99,9 +99,25 @@ val cas : Memory.addr -> expected:int -> desired:int -> bool
 (** [cas a ~expected ~desired] is an atomic compare-and-swap; true on
     success.  Charged as an atomic RMW whether or not it succeeds. *)
 
+val cas_val : Memory.addr -> expected:int -> desired:int -> int
+(** [cas_val a ~expected ~desired] is {!cas} returning the {e witnessed}
+    value instead of a boolean (the swap happened iff the result equals
+    [expected]) — the compare-exchange shape lock-free retry loops want,
+    so a failed attempt does not pay a separate reload.  Identical
+    charge to {!cas}. *)
+
 val fetch_add : Memory.addr -> int -> int
 (** [fetch_add a n] atomically adds [n] to word [a], returning the old
     value. *)
+
+val fetch_or : Memory.addr -> int -> int
+(** [fetch_or a n] atomically ORs [n] into word [a], returning the old
+    value.  Costed exactly like {!fetch_add} (the [rmw] geometry knob);
+    added for the non-blocking allocators' status-word marking. *)
+
+val fetch_and : Memory.addr -> int -> int
+(** [fetch_and a n] atomically ANDs [n] into word [a], returning the old
+    value.  Costed exactly like {!fetch_add}. *)
 
 val swap : Memory.addr -> int -> int
 (** [swap a v] atomically exchanges word [a] with [v], returning the old

@@ -5,6 +5,7 @@ type result = {
   transfers : int;
   cycles : int;
   transfers_per_sec : float;
+  stats : Lockfree.Stats.t option;
 }
 
 (* Per-pair ring in the harness scratch region (words 16..1023 by repo
@@ -22,7 +23,7 @@ let run ~which ~pairs ~blocks_per_pair ?(bytes = 256) ?config () =
   if pairs < 1 || pairs > 20 then
     invalid_arg "Workload.Crosscpu.run: pairs must be in [1, 20]";
   let ncpus = 2 * pairs in
-  let m, a = Rig.fresh which ?config ~ncpus () in
+  let m, a, probe = Rig.fresh_probed which ?config ~ncpus () in
   Machine.run_symmetric m ~ncpus (fun cpu ->
       let pair = cpu / 2 in
       if cpu land 1 = 0 then
@@ -56,4 +57,5 @@ let run ~which ~pairs ~blocks_per_pair ?(bytes = 256) ?config () =
     cycles;
     transfers_per_sec =
       Rig.pairs_per_sec (Machine.config m) ~pairs:transfers ~cycles;
+    stats = Option.map Lockfree.Stats.copy probe.Baseline.Allocator.stats;
   }

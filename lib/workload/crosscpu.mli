@@ -2,16 +2,21 @@
     pushes them through a shared ring in simulated memory; the others
     pop and free them.
 
-    This is the pattern the global layer exists for ("one CPU allocates
-    buffers of a given size, which are then passed to other CPUs that
-    free them") — freed buffers flow back to the allocating CPU through
-    the global layer without coalescing overhead. *)
+    This is the pattern the paper's global layer exists for ("one CPU
+    allocates buffers of a given size, which are then passed to other
+    CPUs that free them") — freed buffers flow back to the allocating
+    CPU through the global layer without coalescing overhead.  For the
+    lock-free arms it is the remote-free pressure test: every free
+    lands on a CPU that never allocated the block. *)
 
 type result = {
   ncpus : int;
   transfers : int;  (** blocks produced, consumed and freed *)
   cycles : int;
   transfers_per_sec : float;
+  stats : Lockfree.Stats.t option;
+      (** retry/helping counters when [which] is a lock-free arm — the
+          remote-free flow is what makes them non-trivial *)
 }
 
 val run :

@@ -1,7 +1,8 @@
 (** Deterministic pseudo-random numbers (splitmix-style) for workload
     generation.  Host-side state: drawing numbers costs the simulation
     nothing (a benchmark driver's randomness is not the system under
-    test), but sequences are reproducible from the seed. *)
+    test), but sequences are reproducible from the seed.  Reproduction
+    infrastructure with no paper counterpart. *)
 
 type t
 

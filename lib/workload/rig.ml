@@ -5,7 +5,7 @@ let paper_config ?(memory_words = 2 * 1024 * 1024) ~ncpus () =
   Sim.Config.make ~geometry:(Sim.Geometry.ambient ()) ~ncpus ~memory_words
     ~uncached_words:512 ()
 
-let fresh which ?config ~ncpus () =
+let fresh_probed which ?config ~ncpus () =
   let cfg =
     match config with
     | Some c -> { c with Sim.Config.ncpus }
@@ -13,7 +13,12 @@ let fresh which ?config ~ncpus () =
   in
   Sim.Config.validate cfg;
   let m = Sim.Machine.create cfg in
-  (m, Baseline.Allocator.create which m)
+  let a, probe = Baseline.Allocator.create_probed which m in
+  (m, a, probe)
+
+let fresh which ?config ~ncpus () =
+  let m, a, _ = fresh_probed which ?config ~ncpus () in
+  (m, a)
 
 let pairs_per_sec cfg ~pairs ~cycles =
   if cycles = 0 then 0.

@@ -19,4 +19,13 @@ val fresh :
 (** [fresh which ~ncpus ()] is a booted allocator on a new machine.  A
     given [config] has its [ncpus] overridden. *)
 
+val fresh_probed :
+  Baseline.Allocator.which ->
+  ?config:Sim.Config.t ->
+  ncpus:int ->
+  unit ->
+  Sim.Machine.t * Baseline.Allocator.t * Baseline.Allocator.probe
+(** {!fresh} plus the allocator's observation probe (retry counters and
+    drain oracle for the lock-free arms). *)
+
 val pairs_per_sec : Sim.Config.t -> pairs:int -> cycles:int -> float

@@ -1,0 +1,108 @@
+(* Unit coverage for the Blelloch–Wei-style fixed-size arm: private
+   fast path, batch refill/flush edges, exhaustion, conservation. *)
+
+let machine ?(ncpus = 2) () =
+  Sim.Machine.create
+    (Sim.Config.make ~ncpus ~memory_words:131072 ~uncached_words:512 ())
+
+let on_cpu0 m f =
+  let out = ref None in
+  Sim.Machine.run m [| (fun _ -> out := Some (f ())) |];
+  Option.get !out
+
+let test_roundtrip () =
+  let m = machine () in
+  let b = Lockfree.Bwfixed.create m in
+  on_cpu0 m (fun () ->
+      List.iter
+        (fun bytes ->
+          let a = Lockfree.Bwfixed.alloc b ~bytes in
+          Alcotest.(check bool) "alloc succeeds" true (a <> 0);
+          Lockfree.Bwfixed.free b ~addr:a ~bytes)
+        [ 16; 32; 64; 100; 256; 512; 1024; 2048; 4096 ]);
+  Alcotest.(check int) "all classes conserved" 0
+    (List.fold_left
+       (fun acc c ->
+         acc + Lockfree.Bwfixed.blocks_of_class b ~c
+         - Lockfree.Bwfixed.free_blocks_oracle b ~c)
+       0
+       [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_refill_batching () =
+  (* One refill CAS serves a whole batch of allocations: the fast path
+     is private after the first pop. *)
+  let m = machine () in
+  let b = Lockfree.Bwfixed.create m in
+  let s = Lockfree.Bwfixed.stats b in
+  on_cpu0 m (fun () ->
+      let blocks = Array.init 8 (fun _ -> Lockfree.Bwfixed.alloc b ~bytes:64) in
+      Array.iter (fun a -> Alcotest.(check bool) "alloc" true (a <> 0)) blocks;
+      Alcotest.(check int) "one refill for eight allocs" 1 s.Lockfree.Stats.refills;
+      Alcotest.(check int) "no flush yet" 0 s.Lockfree.Stats.flushes;
+      (* distinct addresses *)
+      let sorted = Array.copy blocks in
+      Array.sort compare sorted;
+      for i = 1 to 7 do
+        Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+      done;
+      Array.iter (fun a -> Lockfree.Bwfixed.free b ~addr:a ~bytes:64) blocks)
+
+let test_flush_edge () =
+  (* Fill the private stack past its cap: exactly one batch goes back
+     to the shared stack. *)
+  let m = machine () in
+  let b = Lockfree.Bwfixed.create m in
+  let s = Lockfree.Bwfixed.stats b in
+  on_cpu0 m (fun () ->
+      (* 16 allocs drain exactly two batches and leave the private
+         stack empty; 16 frees then hit the cap exactly once *)
+      let live =
+        Array.init 16 (fun _ -> Lockfree.Bwfixed.alloc b ~bytes:32)
+      in
+      Alcotest.(check int) "two refills" 2 s.Lockfree.Stats.refills;
+      Array.iter (fun a -> Lockfree.Bwfixed.free b ~addr:a ~bytes:32) live;
+      Alcotest.(check int) "one flush at the cap" 1 s.Lockfree.Stats.flushes);
+  Alcotest.(check int) "class conserved"
+    (Lockfree.Bwfixed.blocks_of_class b ~c:1)
+    (Lockfree.Bwfixed.free_blocks_oracle b ~c:1)
+
+let test_exhaustion () =
+  let m = machine () in
+  let b = Lockfree.Bwfixed.create m in
+  let total = Lockfree.Bwfixed.blocks_of_class b ~c:8 in
+  on_cpu0 m (fun () ->
+      let live = ref [] in
+      let n = ref 0 in
+      let rec fill () =
+        let a = Lockfree.Bwfixed.alloc b ~bytes:4096 in
+        if a <> 0 then begin
+          live := a :: !live;
+          incr n;
+          fill ()
+        end
+      in
+      fill ();
+      Alcotest.(check int) "every block reachable on one CPU" total !n;
+      Alcotest.(check int) "exhausted" 0 (Lockfree.Bwfixed.alloc b ~bytes:4096);
+      List.iter (fun a -> Lockfree.Bwfixed.free b ~addr:a ~bytes:4096) !live);
+  Alcotest.(check int) "class conserved" total
+    (Lockfree.Bwfixed.free_blocks_oracle b ~c:8)
+
+let test_bad_sizes () =
+  let m = machine () in
+  let b = Lockfree.Bwfixed.create m in
+  on_cpu0 m (fun () ->
+      Alcotest.(check int) "oversize is 0" 0
+        (Lockfree.Bwfixed.alloc b ~bytes:8192);
+      Alcotest.check_raises "zero bytes"
+        (Invalid_argument "Lockfree.Bwfixed: bytes <= 0") (fun () ->
+          ignore (Lockfree.Bwfixed.alloc b ~bytes:0)))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "refill batching" `Quick test_refill_batching;
+    Alcotest.test_case "flush edge" `Quick test_flush_edge;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "bad sizes" `Quick test_bad_sizes;
+  ]

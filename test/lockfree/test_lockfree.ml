@@ -1,0 +1,8 @@
+let () =
+  Alcotest.run "lockfree"
+    [
+      ("nbbuddy", Test_nbbuddy.suite);
+      ("bwfixed", Test_bwfixed.suite);
+      ("hammer", Test_hammer.suite);
+      ("determinism", Test_determinism.suite);
+    ]

@@ -24,7 +24,7 @@ let program lock seed len cpu =
     !st
   in
   for _ = 1 to len do
-    match next () mod 8 with
+    match next () mod 11 with
     | 0 -> ignore (Machine.read (64 + (next () mod 1024)))
     | 1 -> Machine.write (64 + (next () mod 1024)) (next ())
     | 2 -> ignore (Machine.fetch_add (32 + (next () mod 8)) 1)
@@ -38,6 +38,14 @@ let program lock seed len cpu =
     | 6 ->
         Spinlock.with_lock lock (fun () ->
             Machine.write 60 (Machine.read 60 + 1))
+    | 7 -> ignore (Machine.fetch_or (52 + (next () mod 4)) (next () land 0xff))
+    | 8 ->
+        ignore (Machine.fetch_and (52 + (next () mod 4)) (lnot (next () land 0xf)))
+    | 9 ->
+        ignore
+          (Machine.cas_val
+             (40 + (next () mod 8))
+             ~expected:(next () land 1) ~desired:(next ()))
     | _ -> Machine.spin_pause ()
   done
 

@@ -57,6 +57,53 @@ let test_fetch_add_atomic () =
       done);
   Alcotest.(check int) "no lost updates" 2000 (Memory.get (Machine.memory m) 16)
 
+let test_bitwise_rmw_semantics () =
+  let m = machine ~ncpus:1 () in
+  Memory.set (Machine.memory m) 16 0b1100;
+  let log = ref [] in
+  Machine.run m
+    [|
+      (fun _ ->
+        log := ("or", Machine.fetch_or 16 0b0110) :: !log;
+        log := ("and", Machine.fetch_and 16 0b0011) :: !log;
+        log := ("casv hit", Machine.cas_val 16 ~expected:0b0010 ~desired:42) :: !log;
+        log := ("casv miss", Machine.cas_val 16 ~expected:7 ~desired:99) :: !log);
+    |];
+  Alcotest.(check (list (pair string int)))
+    "old values witnessed"
+    [ ("or", 0b1100); ("and", 0b1110); ("casv hit", 0b0010); ("casv miss", 42) ]
+    (List.rev !log);
+  Alcotest.(check int) "final value" 42 (Memory.get (Machine.memory m) 16)
+
+let test_bitwise_rmw_atomic () =
+  (* concurrent single-bit ORs never lose updates (the non-blocking
+     buddy's ancestor-marking pattern) *)
+  let m = machine ~ncpus:4 () in
+  Machine.run_symmetric m ~ncpus:4 (fun cpu ->
+      for _ = 1 to 100 do
+        ignore (Machine.fetch_or 16 (1 lsl cpu));
+        ignore (Machine.fetch_and 24 (lnot (1 lsl cpu)))
+      done);
+  Alcotest.(check int) "all bits set" 0b1111 (Memory.get (Machine.memory m) 16)
+
+let test_new_rmw_costs () =
+  (* every RMW flavour pays exactly the same charge: the rmw geometry
+     knob, through the same cache path *)
+  let elapsed_of op =
+    let m = machine ~ncpus:1 () in
+    Machine.run m [| (fun _ -> op ()) |];
+    Machine.elapsed m
+  in
+  let base = elapsed_of (fun () -> ignore (Machine.fetch_add 16 1)) in
+  Alcotest.(check int) "fetch_or" base
+    (elapsed_of (fun () -> ignore (Machine.fetch_or 16 1)));
+  Alcotest.(check int) "fetch_and" base
+    (elapsed_of (fun () -> ignore (Machine.fetch_and 16 1)));
+  Alcotest.(check int) "cas_val" base
+    (elapsed_of (fun () -> ignore (Machine.cas_val 16 ~expected:0 ~desired:1)));
+  Alcotest.(check int) "cas" base
+    (elapsed_of (fun () -> ignore (Machine.cas 16 ~expected:0 ~desired:1)))
+
 (* A plain read-increment-write is NOT atomic in the simulation: with
    interleaving CPUs, updates are lost — the machine really does model a
    racy shared memory. *)
@@ -336,6 +383,11 @@ let suite =
     Alcotest.test_case "cpu_id and now" `Quick test_cpu_id_and_now;
     Alcotest.test_case "runs are deterministic" `Quick test_determinism;
     Alcotest.test_case "fetch_add is atomic" `Quick test_fetch_add_atomic;
+    Alcotest.test_case "bitwise rmw semantics" `Quick
+      test_bitwise_rmw_semantics;
+    Alcotest.test_case "bitwise rmw atomic" `Quick test_bitwise_rmw_atomic;
+    Alcotest.test_case "new rmw flavours cost like fetch_add" `Quick
+      test_new_rmw_costs;
     Alcotest.test_case "plain rmw races (lost updates)" `Quick
       test_plain_rmw_races;
     Alcotest.test_case "spinlock mutual exclusion" `Quick

@@ -37,8 +37,10 @@ let contains hay needle =
 
 (* The ways a module is allowed to situate itself: a reference into the
    paper (named section or figure — the repo's idiom never invents
-   numbered sections), or an explicit statement that it is
-   reproduction infrastructure with no paper counterpart. *)
+   numbered sections), a citation of a PAPERS.md related-work entry
+   (the extension arms reproduce designs from the literature around
+   the paper, not the paper itself), or an explicit statement that it
+   is reproduction infrastructure with no paper counterpart. *)
 let paper_markers =
   [
     "paper";
@@ -49,6 +51,7 @@ let paper_markers =
     "Design section";
     "Measurements";
     "Future Directions";
+    "PAPERS.md";
   ]
 
 (* First (** ... *) comment starting at [i]; returns (body, end_pos)
@@ -87,8 +90,15 @@ let rec skip_ws src i =
 let invariants_required =
   [
     "spinlock.mli"; "global.mli"; "pagepool.mli"; "vmblk.mli"; "percpu.mli";
-    "check.mli"; "heapcheck.mli";
+    "check.mli"; "heapcheck.mli"; "nbbuddy.mli"; "bwfixed.mli"; "stats.mli";
   ]
+
+(* Lock-free interfaces: correctness rests on a linearization argument,
+   not a lock discipline, so their module doc must also carry a
+   "Linearization:" paragraph naming the linearization point of every
+   hot path (the written half of what the conservation oracles and the
+   fast=scheduled determinism tests check dynamically). *)
+let linearization_required = [ "nbbuddy.mli"; "bwfixed.mli" ]
 
 let check_module_doc file src =
   let i = skip_ws src 0 in
@@ -113,7 +123,15 @@ let check_module_doc file src =
           fail file
             "interface exports a lock or critical-section API: module doc \
              must carry an \"Invariants:\" line naming its \
-             synchronization discipline"
+             synchronization discipline";
+        if
+          List.mem (Filename.basename file) linearization_required
+          && not (contains body "Linearization:")
+        then
+          fail file
+            "lock-free interface: module doc must carry a \
+             \"Linearization:\" paragraph naming the linearization point \
+             of each operation"
 
 (* Walk every doc comment and check its markup braces pair up.  Odoc
    markup is brace-delimited ({v ... v}, {[ ... ]}, {!ref}, {1 head});
