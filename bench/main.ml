@@ -623,6 +623,16 @@ let bench_lockfree () =
           Printf.eprintf "bench: lockfree conservation violated: %s\n" msg;
           exit 1)
 
+(* --- E14: NUMA scaling past the paper --- *)
+
+let bench_numa () =
+  wall (fun () ->
+      let rows =
+        Experiments.Numa.run ~jobs:(effective_jobs ())
+          ~cpus:[ 32; 64; 128 ] ~nodes:[ 1; 4 ] ~iters:8 ()
+      in
+      Experiments.Numa.print rows)
+
 (* --- E12: cache-geometry sweep --- *)
 
 let bench_geometry () =
@@ -642,6 +652,7 @@ let sections =
     ("ablation-pagepolicy", bench_ablation_page_policy);
     ("crosscpu", bench_crosscpu);
     ("lockfree", bench_lockfree);
+    ("numa", bench_numa);
     ("scenarios", bench_scenarios);
     ("roads-not-taken", bench_roads_not_taken);
     ("bechamel", bechamel_suite);
@@ -662,7 +673,7 @@ let default_sections =
 let parallel_sections =
   [
     "opcounts"; "fig7"; "fig9"; "geometry"; "ablation-target";
-    "ablation-pagepolicy"; "crosscpu"; "lockfree"; "scenarios";
+    "ablation-pagepolicy"; "crosscpu"; "lockfree"; "numa"; "scenarios";
     "roads-not-taken"; "pressure"; "fuzz";
   ]
 

@@ -6,7 +6,7 @@ open Cmdliner
 (* Validated argument converters: an out-of-range CPU count or fault
    rate becomes a clear usage error (non-zero exit) at parse time
    instead of an exception escaping from the simulator. *)
-let cpus_range = (1, 64) (* Sim.Config's accepted range *)
+let cpus_range = (1, Sim.Config.max_cpus) (* Sim.Config's accepted range *)
 
 let check_cpus n =
   let lo, hi = cpus_range in
@@ -859,6 +859,76 @@ let lockfree_cmd =
       const run $ geometry_flag $ whichs $ cpus $ iters $ bytes $ pairs
       $ blocks $ jobs_flag)
 
+let numa_cmd =
+  let node_list_conv =
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match int_of_string_opt (String.trim p) with
+            | Some n when n >= 1 -> go (n :: acc) rest
+            | Some n ->
+                Error
+                  (`Msg (Printf.sprintf "node count %d out of range (>= 1)" n))
+            | None -> Error (`Msg (Printf.sprintf "invalid node count %S" p)))
+      in
+      go [] parts
+    in
+    let print ppf l =
+      Format.pp_print_string ppf (String.concat "," (List.map string_of_int l))
+    in
+    Arg.conv (parse, print)
+  in
+  let cpus =
+    Arg.(
+      value
+      & opt cpu_list_conv Experiments.Numa.default_cpus
+      & info [ "cpus" ] ~docv:"N,N,..." ~doc:"CPU counts to sweep.")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt node_list_conv Experiments.Numa.default_nodes
+      & info [ "nodes" ] ~docv:"N,N,..."
+          ~doc:
+            "NUMA node counts to sweep (1 = the flat baseline; node counts \
+             exceeding a cell's CPU count are skipped).")
+  in
+  let iters =
+    Arg.(
+      value & opt int 12 & info [ "iters" ] ~doc:"Timed bursts per CPU.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 64
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Burst size: blocks held live at once per CPU.  Keep it above \
+             twice the per-CPU cache target or the global layer goes quiet \
+             and the sweep measures nothing.")
+  in
+  let bytes =
+    Arg.(value & opt int 256 & info [ "bytes" ] ~doc:"Block size.")
+  in
+  let whichs = allocs_flag ~default:Experiments.Numa.default_whichs in
+  let run geometry whichs cpus nodes iters depth bytes jobs =
+    with_geometry geometry @@ fun () ->
+    Experiments.Numa.print ~depth
+      (Experiments.Numa.run ~jobs ~whichs ~cpus ~nodes ~iters ~depth ~bytes ())
+  in
+  Cmd.v
+    (Cmd.info "numa"
+       ~doc:
+         "NUMA scaling sweep (E14): global-layer churn at 128-512 CPUs \
+          across 2-8 nodes, flat gblfree (newkma) vs per-node gblfree \
+          (numakma).  $(b,--geometry) sets the base cost model (keys \
+          nodes/node_miss/node_c2c price the cross-node surcharges); \
+          $(b,--nodes) sweeps the machine's node count on top of it.")
+    Term.(
+      const run $ geometry_flag $ whichs $ cpus $ nodes $ iters $ depth
+      $ bytes $ jobs_flag)
+
 let geometry_cmd =
   let ncpus =
     Arg.(value & opt cpus_conv 8 & info [ "cpus" ] ~doc:"CPUs per cell.")
@@ -918,6 +988,7 @@ let () =
        (Cmd.group ~default info
           [
             fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
-            missrates_cmd; geometry_cmd; lockfree_cmd; pressure_cmd;
-            fuzz_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd; scenario_cmd;
+            missrates_cmd; geometry_cmd; numa_cmd; lockfree_cmd;
+            pressure_cmd; fuzz_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd;
+            scenario_cmd;
           ]))

@@ -4,15 +4,24 @@ type t = {
   free : addr:int -> bytes:int -> unit;
 }
 
-type which = Cookie | Newkma | Mk | Oldkma | Lazybuddy | Nbbuddy | Bwfixed
+type which =
+  | Cookie
+  | Newkma
+  | Numakma
+  | Mk
+  | Oldkma
+  | Lazybuddy
+  | Nbbuddy
+  | Bwfixed
 
 let all = [ Cookie; Newkma; Mk; Oldkma ]
-let extras = [ Lazybuddy; Nbbuddy; Bwfixed ]
+let extras = [ Numakma; Lazybuddy; Nbbuddy; Bwfixed ]
 let lockfree = [ Nbbuddy; Bwfixed ]
 
 let name_of = function
   | Cookie -> "cookie"
   | Newkma -> "newkma"
+  | Numakma -> "numakma"
   | Mk -> "mk"
   | Oldkma -> "oldkma"
   | Lazybuddy -> "lazybuddy"
@@ -25,6 +34,7 @@ let roster_string = String.concat ", " roster
 let of_name = function
   | "cookie" -> Some Cookie
   | "newkma" -> Some Newkma
+  | "numakma" -> Some Numakma
   | "mk" -> Some Mk
   | "oldkma" -> Some Oldkma
   | "lazybuddy" -> Some Lazybuddy
@@ -69,6 +79,21 @@ let create_newkma machine =
   let kmem = Kma.Kmem.create machine ~params:(auto_params machine) () in
   {
     name = "newkma";
+    alloc =
+      (fun ~bytes ->
+        match Kma.Kmem.try_alloc kmem ~bytes with Some a -> a | None -> 0);
+    free = (fun ~addr ~bytes -> Kma.Kmem.free kmem ~addr ~bytes);
+  }
+
+(* The per-node-global variant of newkma: identical code, identical
+   layout, but each NUMA node owns a private gblfree (see Global).  On
+   a 1-node machine it degenerates to newkma exactly. *)
+let create_numakma machine =
+  let kmem =
+    Kma.Kmem.create machine ~params:(auto_params machine) ~numa_global:true ()
+  in
+  {
+    name = "numakma";
     alloc =
       (fun ~bytes ->
         match Kma.Kmem.try_alloc kmem ~bytes with Some a -> a | None -> 0);
@@ -155,6 +180,7 @@ let create_probed which machine =
   match which with
   | Cookie -> (create_cookie machine, unprobed)
   | Newkma -> (create_newkma machine, unprobed)
+  | Numakma -> (create_numakma machine, unprobed)
   | Mk -> (create_mk machine, unprobed)
   | Oldkma -> (create_oldkma machine, unprobed)
   | Lazybuddy -> (create_lazybuddy machine, unprobed)

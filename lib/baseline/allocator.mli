@@ -16,6 +16,12 @@ type t = {
 type which =
   | Cookie
   | Newkma
+  | Numakma
+      (** {!Newkma} with the per-node global layer enabled
+          ([Kma.Kmem.create ~numa_global:true]): each NUMA node keeps a
+          private gblfree pool, so cross-CPU frees stop ping-ponging
+          one global lock line across the whole machine.  Identical to
+          [Newkma] on a 1-node machine. *)
   | Mk
   | Oldkma
   | Lazybuddy
@@ -34,8 +40,8 @@ val all : which list
     arms are not included). *)
 
 val extras : which list
-(** The extension arms beyond the paper's four: [Lazybuddy] plus the
-    lock-free pair. *)
+(** The extension arms beyond the paper's four: [Numakma] and
+    [Lazybuddy] plus the lock-free pair. *)
 
 val lockfree : which list
 (** Just the lock-free arms ([Nbbuddy; Bwfixed]). *)

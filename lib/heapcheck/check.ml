@@ -404,16 +404,20 @@ let check ?live (k : Kma.Kmem.t) =
                     what cnt deflt)
           lists)
       ~fallback:();
-    let bh = Kma.Global.bucket_head_oracle ctx ~si in
-    let bc = Kma.Global.bucket_count_oracle ctx ~si in
-    let what = Printf.sprintf "gbl bucket[%d]" si in
-    match walk_chain mem ~limit bh (fun a -> note_block ~what ~si a) with
-    | None -> add Gbl_count "%s chain does not terminate" what
-    | Some n ->
-        free_counts.(si) <- free_counts.(si) + n;
-        if n <> bc then
-          add Gbl_count "%s count word says %d but the chain holds %d" what
-            bc n
+    List.iteri
+      (fun node (bh, bc) ->
+        let what =
+          if node = 0 then Printf.sprintf "gbl bucket[%d]" si
+          else Printf.sprintf "gbl bucket[n%d][%d]" node si
+        in
+        match walk_chain mem ~limit bh (fun a -> note_block ~what ~si a) with
+        | None -> add Gbl_count "%s chain does not terminate" what
+        | Some n ->
+            free_counts.(si) <- free_counts.(si) + n;
+            if n <> bc then
+              add Gbl_count "%s count word says %d but the chain holds %d"
+                what bc n)
+      (Kma.Global.buckets_oracle ctx ~si)
   done;
 
   (* (4) conservation: free + outstanding = split capacity per class,

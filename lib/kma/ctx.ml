@@ -19,6 +19,7 @@ type t = {
   plocks : Sim.Spinlock.t array;
   vlock : Sim.Spinlock.t;
   pressure : pressure_state;
+  numa_global : bool;
 }
 
 let memory t = Sim.Machine.memory t.machine

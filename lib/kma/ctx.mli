@@ -46,10 +46,18 @@ type t = {
   layout : Layout.t;
   vmsys : Sim.Vmsys.t;
   stats : Kstats.t;
-  glocks : Sim.Spinlock.t array;  (** per-size global-layer locks *)
+  glocks : Sim.Spinlock.t array;
+      (** global-layer locks, one per (node, size) indexed
+          [node * nsizes + si] — length [nnodes * nsizes]; on a flat
+          machine this is exactly the per-size array it always was *)
   plocks : Sim.Spinlock.t array;  (** per-size coalesce-to-page locks *)
   vlock : Sim.Spinlock.t;  (** coalesce-to-vmblk lock *)
   pressure : pressure_state;
+  numa_global : bool;
+      (** when true, {!Global} keeps a separate gblfree per NUMA node
+          and each CPU drains/fills against its own node's pool; when
+          false (the default) only node 0's records are ever touched
+          and the layer is bit-identical to the pre-NUMA allocator *)
 }
 
 val memory : t -> Sim.Memory.t

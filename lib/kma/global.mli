@@ -2,9 +2,15 @@
     section, whose list-of-lists hand-off gives the 1/target,
     1/gbltarget miss-rate bounds checked in experiment E6.
 
-    One instance per size class, protected by a per-size spinlock.  Its
-    only purpose is to let blocks allocated on one CPU and freed on
-    another flow back cheaply, without the coalescing layer's overhead.
+    One instance per (node, size class), each protected by its own
+    spinlock.  Its only purpose is to let blocks allocated on one CPU
+    and freed on another flow back cheaply, without the coalescing
+    layer's overhead.  On a flat machine (or with [Ctx.numa_global]
+    false) only node 0's instances exist in practice and the layer
+    behaves exactly as the paper's single global layer; with
+    [Ctx.numa_global] set, each CPU drains to and fills from its own
+    node's pool, so the per-size lock and its data line ping-pong only
+    within a node instead of across the whole machine.
 
     Free blocks are kept as a list of *target-sized lists* ([gblfree]):
     moving a whole per-CPU cache half costs O(1) linked-list operations.
@@ -45,34 +51,43 @@ val put_partial : Ctx.t -> si:int -> head:int -> count:int -> unit
     the bucket list and regroups full lists out of it. *)
 
 val drain : Ctx.t -> si:int -> unit
-(** [drain ctx ~si] pushes up to [gbltarget] lists down to the
-    coalesce-to-page layer, stopping at the first empty pop (overflow
-    hysteresis).  Exposed for the critical-section regression test;
-    normal callers reach it through {!put_list} / {!put_partial}
-    overflow.  Caller must hold the per-size [gbl] lock. *)
+(** [drain ctx ~si] pushes up to [gbltarget] lists from the calling
+    CPU's node down to the coalesce-to-page layer, stopping at the
+    first empty pop (overflow hysteresis).  Exposed for the
+    critical-section regression test; normal callers reach it through
+    {!put_list} / {!put_partial} overflow.  Caller must hold that
+    node's [gbl] lock for the class. *)
 
 val trim : Ctx.t -> si:int -> keep:int -> unit
 (** [trim ctx ~si ~keep] pushes lists down to the coalesce-to-page
-    layer until at most [keep] remain (the bucket is emptied too when
-    [keep = 0]), letting fully-free pages return to the VM system — the
-    global-layer half of a {!Pressure} reap pass. *)
+    layer until at most [keep] remain per node (the buckets are emptied
+    too when [keep = 0]), letting fully-free pages return to the VM
+    system — the global-layer half of a {!Pressure} reap pass. *)
 
 val drain_all : Ctx.t -> si:int -> unit
-(** [drain_all ctx ~si] pushes everything the global layer holds down to
-    the coalesce-to-page layer (administrative shakeout; see
-    [Kmem.reap_global]). *)
+(** [drain_all ctx ~si] pushes everything the global layer holds — on
+    every node — down to the coalesce-to-page layer (administrative
+    shakeout; see [Kmem.reap_global]). *)
 
-(** {1 Host-side oracles} *)
+(** {1 Host-side oracles}
+
+    All aggregate across nodes except {!bucket_head_oracle} (node 0)
+    and the per-node {!buckets_oracle}. *)
 
 val nlists_oracle : Ctx.t -> si:int -> int
 val bucket_count_oracle : Ctx.t -> si:int -> int
 val total_blocks_oracle : Ctx.t -> si:int -> int
-(** Blocks held by the global layer (lists plus bucket). *)
+(** Blocks held by the global layer (lists plus bucket, all nodes). *)
 
 val lists_oracle : Ctx.t -> si:int -> (int * int) list
-(** Every list on [gblfree] as [(head, count-word)] pairs, in list
-    order.  Count words are read back raw (not recomputed), so a
-    checker can compare them against actual chain lengths. *)
+(** Every list on [gblfree] as [(head, count-word)] pairs, node by node
+    in list order.  Count words are read back raw (not recomputed), so
+    a checker can compare them against actual chain lengths. *)
 
 val bucket_head_oracle : Ctx.t -> si:int -> int
-(** Head block of the bucket chain (0 when empty). *)
+(** Head block of node 0's bucket chain (0 when empty) — the whole
+    bucket on a flat machine. *)
+
+val buckets_oracle : Ctx.t -> si:int -> (int * int) list
+(** Per-node [(bucket head, bucket count-word)] pairs, node order —
+    lets a checker walk each node's bucket chain separately. *)

@@ -14,11 +14,12 @@ type t = Ctx.t
 let w_std_alloc = 21
 let w_std_free = 18
 
-let create machine ?(params = Params.default) () =
+let create machine ?(params = Params.default) ?(numa_global = false) () =
   let cfg = Machine.config machine in
   let layout = Layout.make cfg params in
   let mem = Machine.memory machine in
   let nsizes = layout.Layout.nsizes in
+  let nnodes = layout.Layout.nnodes in
   (* Boot-time: size-to-class table. *)
   let gran = params.Params.sizes_bytes.(0) in
   for idx = 0 to layout.Layout.size_table_len - 1 do
@@ -43,14 +44,19 @@ let create machine ?(params = Params.default) () =
       vmsys;
       stats = Kstats.create ~nsizes;
       glocks =
-        Array.init nsizes (fun si ->
-            Spinlock.init mem (Layout.gbl_addr layout ~si));
+        (* One lock per (node, size), node-major so node 0's slice keeps
+           the historical per-size indices. *)
+        Array.init (nnodes * nsizes) (fun i ->
+            Spinlock.init mem
+              (Layout.gbl_node_addr layout ~node:(i / nsizes)
+                 ~si:(i mod nsizes)));
       plocks =
         Array.init nsizes (fun si ->
             Spinlock.init mem (Layout.pagepool_addr layout ~si));
       vlock = Spinlock.init mem layout.Layout.vmctl_base;
       pressure =
         Ctx.make_pressure_state ~ncpus:layout.Layout.ncpus ~params;
+      numa_global;
     }
   in
   Percpu.boot_init ctx;
@@ -66,14 +72,18 @@ let create machine ?(params = Params.default) () =
      paper's rule. *)
   for si = 0 to nsizes - 1 do
     let bytes = params.Params.sizes_bytes.(si) in
-    let gbl = Layout.gbl_addr layout ~si
-    and pp = Layout.pagepool_addr layout ~si in
-    Flightrec.Recorder.note_lock ~addr:gbl (Printf.sprintf "gbl[%dB]" bytes);
+    for node = 0 to nnodes - 1 do
+      let gbl = Layout.gbl_node_addr layout ~node ~si in
+      let name =
+        if node = 0 then Printf.sprintf "gbl[%dB]" bytes
+        else Printf.sprintf "gbl[n%d][%dB]" node bytes
+      in
+      Flightrec.Recorder.note_lock ~addr:gbl name;
+      Lockcheck.register_lock ~addr:gbl ~name ~cls:"kma.gbl" ~vm_safe:true ()
+    done;
+    let pp = Layout.pagepool_addr layout ~si in
     Flightrec.Recorder.note_lock ~addr:pp
       (Printf.sprintf "pagepool[%dB]" bytes);
-    Lockcheck.register_lock ~addr:gbl
-      ~name:(Printf.sprintf "gbl[%dB]" bytes)
-      ~cls:"kma.gbl" ~vm_safe:true ();
     Lockcheck.register_lock ~addr:pp
       ~name:(Printf.sprintf "pagepool[%dB]" bytes)
       ~cls:"kma.pagepool" ~vm_safe:true ()

@@ -22,9 +22,14 @@ exception Corruption of string
 
 type t = Ctx.t
 
-val create : Sim.Machine.t -> ?params:Params.t -> unit -> t
+val create : Sim.Machine.t -> ?params:Params.t -> ?numa_global:bool -> unit -> t
 (** [create machine ()] lays out and boot-initialises the allocator in
     [machine]'s memory (host-side, uncharged — this is boot).
+
+    [numa_global] (default [false]) turns on the per-node global layer:
+    each NUMA node gets its own gblfree pool and lock, and every CPU
+    drains/fills against its node's pool (see {!Global}).  Off, the
+    allocator is bit-identical to the pre-NUMA build on any machine.
 
     @raise Invalid_argument if the memory is too small for one vmblk. *)
 

@@ -1,6 +1,7 @@
 type t = {
   params : Params.t;
   ncpus : int;
+  nnodes : int;
   nsizes : int;
   line_words : int;
   page_words : int;
@@ -59,9 +60,12 @@ let make (cfg : Sim.Config.t) (p : Params.t) =
   (* Per-CPU caches: cache-line isolated per (cpu, size). *)
   align_to line;
   let percpu_base = take (cfg.Sim.Config.ncpus * nsizes * pcc_words) in
-  (* Global layer records. *)
+  (* Global layer records: one per (node, size).  The flat machine has
+     one node, so its layout is unchanged; on a NUMA machine the extra
+     records exist whether or not the per-node global layer is enabled
+     (the flat layer simply only ever touches node 0's). *)
   align_to line;
-  let global_base = take (nsizes * gbl_words) in
+  let global_base = take (cfg.Sim.Config.nodes * nsizes * gbl_words) in
   (* Coalesce-to-page radix structures: lock line, minhint, then one list
      head per possible free count (1 .. blocks_per_page). *)
   let pagepool_bases =
@@ -100,6 +104,7 @@ let make (cfg : Sim.Config.t) (p : Params.t) =
   {
     params = p;
     ncpus = cfg.Sim.Config.ncpus;
+    nnodes = cfg.Sim.Config.nodes;
     nsizes;
     line_words = line;
     page_words;
@@ -129,7 +134,10 @@ let make (cfg : Sim.Config.t) (p : Params.t) =
 let pcc_addr t ~cpu ~si =
   t.percpu_base + (((cpu * t.nsizes) + si) * t.pcc_words)
 
-let gbl_addr t ~si = t.global_base + (si * t.gbl_words)
+let gbl_node_addr t ~node ~si =
+  t.global_base + (((node * t.nsizes) + si) * t.gbl_words)
+
+let gbl_addr t ~si = gbl_node_addr t ~node:0 ~si
 let pagepool_addr t ~si = t.pagepool_bases.(si)
 let vmblk_addr t ~index = t.vmblk_base + (index * t.vmblk_words)
 let vmblk_of_addr t a = a land lnot (t.vmblk_words - 1)

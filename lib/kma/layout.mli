@@ -10,7 +10,7 @@
     |              16..1023 are benchmark-harness scratch space)  |
     | size table   request-bytes -> size-class index             |
     | per-CPU      ncpus x nsizes caches, 2 cache lines each     |
-    | global       nsizes pools, lock line + data line + pad     |
+    | global       nnodes x nsizes pools, lock + data line + pad |
     | pagepool     nsizes radix structures (lock, hint, buckets) |
     | vmctl        vmblk-layer lock, span list, arena cursor     |
     | dope vector  (addr >> vmblk_shift) -> vmblk base           |
@@ -27,6 +27,7 @@
 type t = {
   params : Params.t;
   ncpus : int;
+  nnodes : int;  (** NUMA nodes of the underlying machine (1 = flat) *)
   nsizes : int;
   line_words : int;  (** cache-line size, for control-structure padding *)
   page_words : int;
@@ -68,7 +69,15 @@ val pcc_addr : t -> cpu:int -> si:int -> int
 (** Base of the per-CPU cache record for [cpu] and size class [si]. *)
 
 val gbl_addr : t -> si:int -> int
-(** Base of the global-layer record for [si] (the lock word). *)
+(** Base of node 0's global-layer record for [si] (the lock word) —
+    the only record the flat global layer ever touches, and the whole
+    global layer on a 1-node machine. *)
+
+val gbl_node_addr : t -> node:int -> si:int -> int
+(** Base of [node]'s global-layer record for [si]: the layout carries
+    [nnodes * nsizes] records so the NUMA-aware global layer can keep a
+    node-local gblfree per size class.  [gbl_node_addr ~node:0] =
+    {!gbl_addr}. *)
 
 val pagepool_addr : t -> si:int -> int
 val vmblk_addr : t -> index:int -> int

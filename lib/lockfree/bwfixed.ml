@@ -32,9 +32,33 @@ let w_free = 10
 
 (* head word: (tag lsl tag_shift) lor addr.  Memory is well under
    2^26 words, and OCaml ints hold 63 bits, so the tag has 37 bits
-   before wrapping — more CASes than any run performs. *)
+   before wrapping — more CASes than any run performs.
+
+   The per-CPU private count words carry the same (tag, value)
+   packing, and every update of a non-empty stack's count word — the
+   owner's pops and pushes included — commits with a tagged CAS.  That
+   is the price of fixing per-CPU-visible exhaustion: a CPU that finds
+   both its private stack and the shared stack empty may claim a
+   victim's whole private stack with one CAS on the victim's count
+   word (see [steal]), and the claim is only sound if the owner cannot
+   blindly overwrite it — a plain owner read-modify-write spanning the
+   thief's CAS would resurrect the stolen slots (double allocation).
+   With CAS commits every successful update bumps the tag exactly
+   once, so the count word's history is ABA-free: whoever's CAS lands
+   owns the slots it certifies, and the loser retries against the
+   witnessed value.  Slot words keep the single-owner write
+   discipline: a thief reads the slots its witnessed count covers but
+   never writes them; an owner only writes slots above the visible
+   count (invisible to thieves) or below a count it has already
+   claimed down from ([flush] commits the count word FIRST, then
+   chains the now-private top blocks).  The only plain write left on a
+   count word is [refill]'s commit, which runs while the visible count
+   is 0 — and thieves skip empty stacks, so nothing can race it. *)
 let tag_shift = 26
 let addr_mask = (1 lsl tag_shift) - 1
+
+let[@inline] count_of w = w land addr_mask
+let[@inline] bump w v = (((w lsr tag_shift) + 1) lsl tag_shift) lor v
 
 type t = {
   machine : Machine.t;
@@ -135,8 +159,9 @@ let class_of bytes =
     go 0
 
 (* Pop one batch from class [c]'s shared stack into this CPU's private
-   slots; returns the new private count (0 on exhaustion). *)
-let refill t ~c ~la =
+   slots; returns the new private count (0 on exhaustion).  [lw] is the
+   current value of this CPU's count word (so the tag advances). *)
+let refill t ~c ~la ~lw =
   let st = t.stats in
   let ha = head_addr t c in
   let got = ref (-1) in
@@ -170,23 +195,14 @@ let refill t ~c ~la =
       end
     end
   done;
-  Machine.write la !got;
+  Machine.write la (bump lw !got);
   !got
 
-(* Link this CPU's top [batch] private blocks into a batch and push it
-   on class [c]'s shared stack. *)
-let flush t ~c ~la ~count =
+(* Push an already-linked chain of blocks (head [bh], terminated by 0
+   in word 0 of the last block) onto class [c]'s shared stack. *)
+let push_chain t ~c ~bh =
   let st = t.stats in
   let ha = head_addr t c in
-  (* chain the blocks; the first popped slot is the batch head *)
-  let bh = Machine.read (la + count) in
-  let prev = ref bh in
-  for s = count - 1 downto count - batch + 1 do
-    let a = Machine.read (la + s) in
-    Machine.write !prev a;
-    prev := a
-  done;
-  Machine.write !prev 0;
   let done_ = ref false in
   let old = ref (Machine.read ha) in
   while not !done_ do
@@ -204,34 +220,140 @@ let flush t ~c ~la ~count =
       st.Stats.cas_failures <- st.Stats.cas_failures + 1;
       old := w
     end
+  done
+
+(* Link this CPU's top [batch] private blocks into a batch and push it
+   on class [c]'s shared stack.  [lw] is the count word this free
+   committed from; the count word must be claimed down BEFORE the
+   blocks are chained, else a thief that witnessed the old count could
+   chain the same blocks concurrently.  Returns false if a thief won
+   the count word first (the caller retries its whole operation). *)
+let flush t ~c ~la ~lw ~count =
+  let st = t.stats in
+  st.Stats.cas_attempts <- st.Stats.cas_attempts + 1;
+  if Machine.cas_val la ~expected:lw ~desired:(bump lw (count - batch)) <> lw
+  then begin
+    st.Stats.cas_failures <- st.Stats.cas_failures + 1;
+    false
+  end
+  else begin
+    (* slots (count-batch, count] are now above the visible count:
+       exclusively ours.  Chain them; the top slot is the batch head. *)
+    let bh = Machine.read (la + count) in
+    let prev = ref bh in
+    for s = count - 1 downto count - batch + 1 do
+      let a = Machine.read (la + s) in
+      Machine.write !prev a;
+      prev := a
+    done;
+    Machine.write !prev 0;
+    push_chain t ~c ~bh;
+    true
+  end
+
+(* Per-CPU-visible exhaustion: the shared stack is empty but other
+   CPUs' private stacks may hold up to [local_cap] blocks each.  Scan
+   the other CPUs; on finding a non-empty private stack, read its slot
+   addresses, then claim the whole stack with one tagged CAS on the
+   victim's count word (any owner operation in the window bumps the
+   tag, failing the CAS and forfeiting nothing).  The stolen blocks are
+   chained and flushed to the shared tagged stack — never written into
+   the thief's slots directly — so the caller just refills normally.
+   Returns true if a stack was flushed to the shared stack. *)
+let steal t ~c ~me =
+  let st = t.stats in
+  let ncpus = (Machine.config t.machine).Config.ncpus in
+  let stolen = ref false in
+  let cpu = ref 0 in
+  while (not !stolen) && !cpu < ncpus do
+    if !cpu <> me then begin
+      let va = local_addr t ~cpu:!cpu ~c in
+      let w = Machine.read va in
+      let n = count_of w in
+      if n > 0 then begin
+        let blocks = Array.make n 0 in
+        for s = 1 to n do
+          blocks.(s - 1) <- Machine.read (va + s)
+        done;
+        st.Stats.cas_attempts <- st.Stats.cas_attempts + 1;
+        if Machine.cas_val va ~expected:w ~desired:(bump w 0) = w then begin
+          for i = 0 to n - 2 do
+            Machine.write blocks.(i) blocks.(i + 1)
+          done;
+          Machine.write blocks.(n - 1) 0;
+          push_chain t ~c ~bh:blocks.(0);
+          st.Stats.steals <- st.Stats.steals + 1;
+          stolen := true
+        end
+        else st.Stats.cas_failures <- st.Stats.cas_failures + 1
+      end
+    end;
+    incr cpu
   done;
-  Machine.write la (count - batch)
+  !stolen
 
 let alloc t ~bytes =
   match class_of bytes with
   | None -> 0
   | Some c ->
       Machine.work w_alloc;
-      let la = local_addr t ~cpu:(Machine.cpu_id ()) ~c in
-      let count = Machine.read la in
-      let count = if count = 0 then refill t ~c ~la else count in
-      if count = 0 then 0
-      else begin
+      let st = t.stats in
+      let me = Machine.cpu_id () in
+      let la = local_addr t ~cpu:me ~c in
+      (* Pop with a tagged-CAS commit; a failure means a thief emptied
+         our stack under us, so re-read and start over.  On exhaustion,
+         alternate refill attempts with theft until the class is empty
+         everywhere we can see (lock-free, not wait-free: a raced-away
+         batch just means another CPU made progress). *)
+      let rec obtain lw =
+        let count = count_of lw in
+        if count = 0 then begin
+          let got = refill t ~c ~la ~lw in
+          if got = 0 then
+            if steal t ~c ~me then obtain (Machine.read la) else 0
+          else pop (bump lw got) got
+        end
+        else pop lw count
+      and pop lw count =
         let a = Machine.read (la + count) in
-        Machine.write la (count - 1);
-        a
-      end
+        st.Stats.cas_attempts <- st.Stats.cas_attempts + 1;
+        let w = Machine.cas_val la ~expected:lw ~desired:(bump lw (count - 1)) in
+        if w = lw then a
+        else begin
+          st.Stats.cas_failures <- st.Stats.cas_failures + 1;
+          obtain w
+        end
+      in
+      obtain (Machine.read la)
 
 let free t ~addr ~bytes =
   match class_of bytes with
   | None -> invalid_arg "Lockfree.Bwfixed.free: bad size"
   | Some c ->
       Machine.work w_free;
+      let st = t.stats in
       let la = local_addr t ~cpu:(Machine.cpu_id ()) ~c in
-      let count = Machine.read la + 1 in
-      Machine.write (la + count) addr;
-      if count = local_cap then flush t ~c ~la ~count
-      else Machine.write la count
+      (* Push with a tagged-CAS commit (the slot write lands above the
+         visible count, so no thief can see it before the commit).  A
+         failed commit means the stack was stolen; retry from the
+         zeroed count word. *)
+      let rec push () =
+        let lw = Machine.read la in
+        let count = count_of lw + 1 in
+        Machine.write (la + count) addr;
+        if count = local_cap then begin
+          if not (flush t ~c ~la ~lw ~count) then push ()
+        end
+        else begin
+          st.Stats.cas_attempts <- st.Stats.cas_attempts + 1;
+          if Machine.cas_val la ~expected:lw ~desired:(bump lw count) <> lw
+          then begin
+            st.Stats.cas_failures <- st.Stats.cas_failures + 1;
+            push ()
+          end
+        end
+      in
+      push ()
 
 let stats t = t.stats
 
@@ -253,9 +375,9 @@ let free_blocks_oracle t ~c =
     done;
     bh := Memory.get mem (!bh + 1) land addr_mask
   done;
-  (* private stacks *)
+  (* private stacks (count words are tagged) *)
   for cpu = 0 to ncpus - 1 do
-    n := !n + Memory.get mem (local_addr t ~cpu ~c)
+    n := !n + (Memory.get mem (local_addr t ~cpu ~c) land addr_mask)
   done;
   !n
 

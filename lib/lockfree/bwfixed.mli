@@ -12,11 +12,19 @@
     freelist shape rebuilt without the lock.  The head word packs a
     generation tag beside the address to defeat ABA.
 
+    The private count words carry the same (tag, count) packing as the
+    shared heads, and every pop/push of a non-empty private stack
+    commits with a tagged CAS.  That makes the stacks stealable: a CPU
+    whose class is exhausted (private stack and shared stack both
+    empty) claims another CPU's whole private stack with one CAS on
+    the victim's count word and flushes the claimed blocks through the
+    shared tagged stack, so exhaustion is global, not per-CPU-visible.
+
     Linearization: an [alloc] served from the private stack linearizes
-    at its private count-word write (the stack is single-owner, so this
-    is trivially atomic); a refill linearizes at the successful head CAS
-    that detaches a batch, and a flush at the head CAS that publishes
-    one.  Every shared-stack CAS failure is counted in {!stats}.
+    at its successful count-word CAS; a refill linearizes at the
+    successful head CAS that detaches a batch, a flush at the head CAS
+    that publishes one, and a steal at the CAS that zeroes the
+    victim's count word.  Every CAS failure is counted in {!stats}.
 
     Invariants: per class, blocks on the shared stack plus blocks in
     every CPU's private stack plus blocks held by callers equal
@@ -33,11 +41,12 @@ val create : Sim.Machine.t -> t
 
 val alloc : t -> bytes:int -> int
 (** [alloc t ~bytes] takes a block of the smallest class >= [bytes]
-    (classes 16 B .. 4096 B); 0 when the class's shared stack and this
-    CPU's private stack are both empty, or for sizes above 4096 B.
-    Blocks parked on OTHER CPUs' private stacks are not stolen, so
-    exhaustion is per-CPU-visible, not global (documented trade-off of
-    the design).  Simulated; lock-free.
+    (classes 16 B .. 4096 B); 0 for sizes above 4096 B, or when the
+    class is empty machine-wide: before failing, the exhaustion path
+    steals blocks parked on other CPUs' private stacks (routing them
+    through the shared tagged stack), so a failure means no CPU's
+    stack held a block at any point the scan witnessed.  Simulated;
+    lock-free.
     @raise Invalid_argument if [bytes <= 0]. *)
 
 val free : t -> addr:int -> bytes:int -> unit

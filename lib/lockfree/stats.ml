@@ -6,6 +6,7 @@ type t = {
   mutable helps : int;
   mutable refills : int;
   mutable flushes : int;
+  mutable steals : int;
 }
 
 let create () =
@@ -17,6 +18,7 @@ let create () =
     helps = 0;
     refills = 0;
     flushes = 0;
+    steals = 0;
   }
 
 let reset t =
@@ -26,12 +28,13 @@ let reset t =
   t.conflicts <- 0;
   t.helps <- 0;
   t.refills <- 0;
-  t.flushes <- 0
+  t.flushes <- 0;
+  t.steals <- 0
 
 let copy t = { t with cas_attempts = t.cas_attempts }
 
 let to_string t =
   Printf.sprintf
-    "cas=%d fail=%d mark=%d conflict=%d help=%d refill=%d flush=%d"
+    "cas=%d fail=%d mark=%d conflict=%d help=%d refill=%d flush=%d steal=%d"
     t.cas_attempts t.cas_failures t.mark_rmws t.conflicts t.helps t.refills
-    t.flushes
+    t.flushes t.steals

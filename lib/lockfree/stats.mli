@@ -33,6 +33,9 @@ type t = {
       (** batch pops from a shared free stack (fixed-size arm only) *)
   mutable flushes : int;
       (** batch pushes to a shared free stack (fixed-size arm only) *)
+  mutable steals : int;
+      (** whole private stacks claimed from another CPU on the
+          exhaustion path (fixed-size arm only) *)
 }
 
 val create : unit -> t

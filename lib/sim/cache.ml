@@ -10,6 +10,7 @@ type stats = {
   mutable upgrades : int;
   mutable invalidations : int;
   mutable evictions : int;
+  mutable remote : int;
   mutable stall_cycles : int;
 }
 
@@ -70,12 +71,17 @@ type percpu = {
   mutable nresident : int;
 }
 
-(* Line directory as two flat arrays indexed by line number (the
-   address space is small and dense, so a hash table on the
-   per-operation path only added hashing and allocation):
-   [sharers.(l)] is a bitmask of CPUs holding line [l]; [dirty.(l)] is
-   the CPU holding it modified, or -1.  Invariant: dirty >= 0 implies
-   sharers = just that CPU's bit. *)
+(* Line directory as flat arrays indexed by line number (the address
+   space is small and dense, so a hash table on the per-operation path
+   only added hashing and allocation).  The sharer set of line [l] is
+   the [swords] words at [sharers.(l * swords) ..]: a width-independent
+   bitset, 32 CPUs per word, so CPU [c]'s copy is bit [c land 31] of
+   word [c lsr 5].  A single-int bitmask here overflowed 63-bit OCaml
+   ints at ncpus = 63/64 (CPU 63's bit was silently 0); the word array
+   keeps the flat hot path — one load and mask for the membership test
+   that dominates — while scaling to any Config.max_cpus.  [dirty.(l)]
+   is the CPU holding [l] modified, or -1.  Invariant: dirty >= 0
+   implies the sharer set is exactly that CPU. *)
 type t = {
   cfg : Config.t;
   line_shift : int;
@@ -83,9 +89,16 @@ type t = {
   set_capacity : int; (* resident lines allowed per set (ways, or the
                          whole cache when fully associative) *)
   uncached_base : int; (* addresses at or above this bypass the cache *)
+  swords : int; (* sharer words per line: (ncpus + 31) / 32 *)
   sharers : int array;
   dirty : int array;
   cpus : percpu array;
+  (* Two-level NUMA topology (inert at nnodes = 1, the flat default):
+     [node_of.(cpu)] from Config.node_of, memory homes by address
+     range — line [l] lives on node [l / lines_per_node]. *)
+  nnodes : int;
+  node_of : int array;
+  lines_per_node : int;
   mutable trace :
     (cpu:int -> addr:Memory.addr -> kind -> cost:int -> unit) option;
 }
@@ -101,6 +114,7 @@ let fresh_stats () =
     upgrades = 0;
     invalidations = 0;
     evictions = 0;
+    remote = 0;
     stall_cycles = 0;
   }
 
@@ -115,13 +129,15 @@ let create (cfg : Config.t) =
      power-of-two set count otherwise. *)
   let nsets = if cfg.ways = 0 then 1 else cfg.cache_lines / cfg.ways in
   let set_capacity = if cfg.ways = 0 then cfg.cache_lines else cfg.ways in
+  let swords = (cfg.ncpus + 31) / 32 in
   {
     cfg;
     line_shift = log2 cfg.line_words;
     set_mask = nsets - 1;
     set_capacity;
     uncached_base = cfg.memory_words - cfg.uncached_words;
-    sharers = Array.make nlines 0;
+    swords;
+    sharers = Array.make (nlines * swords) 0;
     dirty = Array.make nlines (-1);
     cpus =
       Array.init cfg.ncpus (fun _ ->
@@ -131,10 +147,16 @@ let create (cfg : Config.t) =
             set_nres = Array.make nsets 0;
             nresident = 0;
           });
+    nnodes = cfg.nodes;
+    node_of = Array.init cfg.ncpus (fun cpu -> Config.node_of cfg cpu);
+    lines_per_node = (nlines + cfg.nodes - 1) / cfg.nodes;
     trace = None;
   }
 
-let bit cpu = 1 lsl cpu
+(* Word index and in-word bit of a CPU in a sharer set. *)
+let[@inline] sh_word cpu = cpu lsr 5
+let[@inline] sh_bit cpu = 1 lsl (cpu land 31)
+
 (* Index of the lowest set bit, by binary search (no ctz instruction
    from OCaml): 6 compares instead of a shift-and-test walk over all
    lower bit positions. *)
@@ -148,14 +170,45 @@ let[@inline] lsb_index b =
   if !b land 0x1 = 0 then incr i;
   !i
 
-(* Drop [cpu]'s copy of [line]. *)
 (* [line] and the set index are in bounds by construction ([line] was
    derived from an address the caller has already accessed through
    [t.sharers]; sets are [line land set_mask]), so the per-access hot
    path below uses unchecked accesses throughout. *)
+let[@inline] is_sharer t line cpu =
+  Array.unsafe_get t.sharers ((line * t.swords) + sh_word cpu)
+  land sh_bit cpu
+  <> 0
+
+(* [cpu] is the one and only holder of [line]. *)
+let[@inline] only_sharer t line cpu =
+  let base = line * t.swords in
+  if t.swords = 1 then Array.unsafe_get t.sharers base = sh_bit cpu
+  else begin
+    let mw = sh_word cpu in
+    let ok = ref true in
+    for w = 0 to t.swords - 1 do
+      let want = if w = mw then sh_bit cpu else 0 in
+      if Array.unsafe_get t.sharers (base + w) <> want then ok := false
+    done;
+    !ok
+  end
+
+let[@inline] any_sharer t line =
+  let base = line * t.swords in
+  if t.swords = 1 then Array.unsafe_get t.sharers base <> 0
+  else begin
+    let any = ref false in
+    for w = 0 to t.swords - 1 do
+      if Array.unsafe_get t.sharers (base + w) <> 0 then any := true
+    done;
+    !any
+  end
+
+(* Drop [cpu]'s copy of [line]. *)
 let drop_copy t line cpu =
-  Array.unsafe_set t.sharers line
-    (Array.unsafe_get t.sharers line land lnot (bit cpu));
+  let i = (line * t.swords) + sh_word cpu in
+  Array.unsafe_set t.sharers i
+    (Array.unsafe_get t.sharers i land lnot (sh_bit cpu));
   if Array.unsafe_get t.dirty line = cpu then Array.unsafe_set t.dirty line (-1);
   let pc = Array.unsafe_get t.cpus cpu in
   pc.nresident <- pc.nresident - 1;
@@ -174,7 +227,7 @@ let rec evict_if_full t cpu set =
       Array.unsafe_set pc.set_nres set 0
     else begin
       let line = fifo_pop f in
-      if Array.unsafe_get t.sharers line land bit cpu <> 0 then begin
+      if is_sharer t line cpu then begin
         drop_copy t line cpu;
         pc.st.evictions <- pc.st.evictions + 1
       end
@@ -186,11 +239,11 @@ let rec evict_if_full t cpu set =
   end
 
 let insert_copy t line cpu =
-  if Array.unsafe_get t.sharers line land bit cpu = 0 then begin
+  if not (is_sharer t line cpu) then begin
     let set = line land t.set_mask in
     evict_if_full t cpu set;
-    Array.unsafe_set t.sharers line
-      (Array.unsafe_get t.sharers line lor bit cpu);
+    let i = (line * t.swords) + sh_word cpu in
+    Array.unsafe_set t.sharers i (Array.unsafe_get t.sharers i lor sh_bit cpu);
     let pc = Array.unsafe_get t.cpus cpu in
     pc.nresident <- pc.nresident + 1;
     Array.unsafe_set pc.set_nres set (Array.unsafe_get pc.set_nres set + 1);
@@ -200,30 +253,61 @@ let insert_copy t line cpu =
   end
 
 (* Invalidate every copy other than [cpu]'s; returns how many were
-   invalidated. *)
+   invalidated.  Word by word, set bits lowest-CPU-first within each —
+   the same order the single-word bitmask walked. *)
 let invalidate_others t line cpu =
-  let others = t.sharers.(line) land lnot (bit cpu) in
-  if others = 0 then 0
-  else begin
-    (* Iterate set bits directly: a contended line typically has one
-       other holder, so this loops once where a position-by-position
-       walk visits every lower bit. *)
-    let set = line land t.set_mask in
-    let n = ref 0 in
-    let rem = ref others in
-    while !rem <> 0 do
-      let pc = Array.unsafe_get t.cpus (lsb_index (!rem land - !rem)) in
-      pc.nresident <- pc.nresident - 1;
-      Array.unsafe_set pc.set_nres set (Array.unsafe_get pc.set_nres set - 1);
-      incr n;
+  let base = line * t.swords in
+  let mw = sh_word cpu and mb = sh_bit cpu in
+  let set = line land t.set_mask in
+  let n = ref 0 in
+  for w = 0 to t.swords - 1 do
+    let v = Array.unsafe_get t.sharers (base + w) in
+    let others = if w = mw then v land lnot mb else v in
+    if others <> 0 then begin
+      (* Iterate set bits directly: a contended line typically has one
+         other holder, so this loops once where a position-by-position
+         walk visits every lower bit. *)
+      let rem = ref others in
+      while !rem <> 0 do
+        let c = (w lsl 5) + lsb_index (!rem land - !rem) in
+        let pc = Array.unsafe_get t.cpus c in
+        pc.nresident <- pc.nresident - 1;
+        Array.unsafe_set pc.set_nres set (Array.unsafe_get pc.set_nres set - 1);
+        incr n;
+        rem := !rem land (!rem - 1)
+      done;
+      Array.unsafe_set t.sharers (base + w) (v land lnot others)
+    end
+  done;
+  if !n > 0 then begin
+    let d = Array.unsafe_get t.dirty line in
+    if d >= 0 && d <> cpu then Array.unsafe_set t.dirty line (-1)
+  end;
+  !n
+
+(* Home node of [line]'s memory: address-range partition, so node-local
+   data structures really are serviced by local memory. *)
+let[@inline] home_node t line = line / t.lines_per_node
+
+(* Any copy of [line] held outside [node] (ignoring [cpu] itself):
+   decides whether an invalidation round crosses the interconnect. *)
+let[@inline never] remote_holder t line cpu node =
+  let base = line * t.swords in
+  let mw = sh_word cpu and mb = sh_bit cpu in
+  let found = ref false in
+  let w = ref 0 in
+  while (not !found) && !w < t.swords do
+    let v = Array.unsafe_get t.sharers (base + !w) in
+    let v = if !w = mw then v land lnot mb else v in
+    let rem = ref v in
+    while (not !found) && !rem <> 0 do
+      let c = (!w lsl 5) + lsb_index (!rem land - !rem) in
+      if Array.unsafe_get t.node_of c <> node then found := true;
       rem := !rem land (!rem - 1)
     done;
-    Array.unsafe_set t.sharers line
-      (Array.unsafe_get t.sharers line land lnot others);
-    if Array.unsafe_get t.dirty line >= 0 && Array.unsafe_get t.dirty line <> cpu
-    then Array.unsafe_set t.dirty line (-1);
-    !n
-  end
+    incr w
+  done;
+  !found
 
 let access t ~cpu a kind =
   let cfg = t.cfg in
@@ -245,10 +329,34 @@ let access t ~cpu a kind =
     cost
   end
   else begin
-  let sharers = Array.unsafe_get t.sharers line in
+  let numa = t.nnodes > 1 in
+  let mine = is_sharer t line cpu in
   let dirty = Array.unsafe_get t.dirty line in
-  let mine = sharers land bit cpu <> 0 in
   let dirty_elsewhere = dirty >= 0 && dirty <> cpu in
+  (* NUMA surcharge of the current transition, 0 always on the flat
+     machine (and on hits).  Computed inline — no closures, no ref —
+     because this is the hottest function in the simulator:
+     - a miss serviced by a remote node's memory pays [node_miss_cost];
+     - a dirty transfer from a remote CPU pays [node_c2c_cost], plus
+       [node_miss_cost] when the line's directory home is on a third
+       node (the request detours requester -> home -> owner);
+     - an invalidation round that must reach a remote node's copy pays
+       [node_c2c_cost]. *)
+  let miss_extra =
+    if numa && home_node t line <> Array.unsafe_get t.node_of cpu then
+      cfg.node_miss_cost
+    else 0
+  in
+  let c2c_extra =
+    if numa && dirty_elsewhere then begin
+      let my = Array.unsafe_get t.node_of cpu in
+      let own = Array.unsafe_get t.node_of dirty in
+      let e = if own <> my then cfg.node_c2c_cost else 0 in
+      let h = home_node t line in
+      if h <> my && h <> own then e + cfg.node_miss_cost else e
+    end
+    else 0
+  in
   let cost =
     match kind with
     | Load ->
@@ -262,15 +370,17 @@ let access t ~cpu a kind =
           st.c2c <- st.c2c + 1;
           Array.unsafe_set t.dirty line (-1);
           insert_copy t line cpu;
-          cfg.c2c_cost
+          if c2c_extra > 0 then st.remote <- st.remote + 1;
+          cfg.c2c_cost + c2c_extra
         end
         else begin
           st.misses <- st.misses + 1;
           insert_copy t line cpu;
-          cfg.miss_cost
+          if miss_extra > 0 then st.remote <- st.remote + 1;
+          cfg.miss_cost + miss_extra
         end
     | Store | Rmw ->
-        if mine && sharers = bit cpu then begin
+        if mine && only_sharer t line cpu then begin
           (* Exclusive or already modified: silent upgrade. *)
           st.hits <- st.hits + 1;
           Array.unsafe_set t.dirty line cpu;
@@ -279,18 +389,45 @@ let access t ~cpu a kind =
         else begin
           let fetch_cost =
             if mine then begin
-              (* Shared here and elsewhere: invalidation round only. *)
+              (* Shared here and elsewhere: invalidation round only.
+                 The sharer-set walk in [remote_holder] is gated behind
+                 [numa] so the flat machine never pays it. *)
               st.upgrades <- st.upgrades + 1;
-              cfg.upgrade_cost
+              let e =
+                if
+                  numa
+                  && remote_holder t line cpu (Array.unsafe_get t.node_of cpu)
+                then cfg.node_c2c_cost
+                else 0
+              in
+              if e > 0 then st.remote <- st.remote + 1;
+              cfg.upgrade_cost + e
             end
             else if dirty_elsewhere then begin
               st.c2c <- st.c2c + 1;
-              cfg.c2c_cost
+              if c2c_extra > 0 then st.remote <- st.remote + 1;
+              cfg.c2c_cost + c2c_extra
             end
             else begin
               st.misses <- st.misses + 1;
-              if sharers <> 0 then cfg.upgrade_cost + cfg.miss_cost
-              else cfg.miss_cost
+              if any_sharer t line then begin
+                let e =
+                  miss_extra
+                  +
+                  if
+                    numa
+                    && remote_holder t line cpu
+                         (Array.unsafe_get t.node_of cpu)
+                  then cfg.node_c2c_cost
+                  else 0
+                in
+                if e > 0 then st.remote <- st.remote + 1;
+                cfg.upgrade_cost + cfg.miss_cost + e
+              end
+              else begin
+                if miss_extra > 0 then st.remote <- st.remote + 1;
+                cfg.miss_cost + miss_extra
+              end
             end
           in
           st.invalidations <-
@@ -323,6 +460,7 @@ let total_stats t =
       acc.upgrades <- acc.upgrades + s.upgrades;
       acc.invalidations <- acc.invalidations + s.invalidations;
       acc.evictions <- acc.evictions + s.evictions;
+      acc.remote <- acc.remote + s.remote;
       acc.stall_cycles <- acc.stall_cycles + s.stall_cycles)
     t.cpus;
   acc
@@ -340,6 +478,7 @@ let reset_stats t =
       s.upgrades <- 0;
       s.invalidations <- 0;
       s.evictions <- 0;
+      s.remote <- 0;
       s.stall_cycles <- 0)
     t.cpus
 
@@ -347,10 +486,9 @@ let set_trace t f = t.trace <- f
 
 let holders t a =
   let line = a lsr t.line_shift in
-  let sharers = t.sharers.(line) in
   let rec go c acc =
     if c < 0 then acc
-    else go (c - 1) (if sharers land bit c <> 0 then c :: acc else acc)
+    else go (c - 1) (if is_sharer t line c then c :: acc else acc)
   in
   go (t.cfg.ncpus - 1) []
 
@@ -360,3 +498,6 @@ let dirty_owner t a =
   if d >= 0 then Some d else None
 
 let resident t ~cpu = t.cpus.(cpu).nresident
+
+let node_of_cpu t cpu = t.node_of.(cpu)
+let home_of_addr t a = home_node t (a lsr t.line_shift)

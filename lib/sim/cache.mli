@@ -25,7 +25,20 @@
     When [cache_lines] is positive, each CPU's cache is bounded and lines
     are evicted FIFO, so capacity misses occur; with [0] the caches are
     unbounded and only coherence misses occur.  The model is fully
-    deterministic. *)
+    deterministic.
+
+    Sharer tracking is width-independent: each line's holder set is a
+    flat array of bitset words (32 CPUs per word), so the model scales
+    to {!Config.max_cpus} CPUs.  (A single native-int bitmask here
+    silently overflowed at [ncpus = 63/64].)
+
+    With [nodes > 1] the machine is NUMA: CPUs live on contiguous
+    nodes, memory lines have an address-range home node, and misses,
+    dirty transfers and invalidation rounds that cross the interconnect
+    pay the [node_miss_cost]/[node_c2c_cost] surcharges from
+    {!Geometry} (three-hop directory detour included).  At the default
+    [nodes = 1] none of this code runs and costs are bit-identical to
+    the flat model. *)
 
 type t
 
@@ -41,6 +54,9 @@ type stats = {
   mutable upgrades : int;  (** shared-to-exclusive invalidation rounds *)
   mutable invalidations : int;  (** copies this CPU invalidated in others *)
   mutable evictions : int;  (** capacity evictions *)
+  mutable remote : int;
+      (** accesses that paid any cross-node NUMA surcharge (always [0]
+          on the flat [nodes = 1] machine) *)
   mutable stall_cycles : int;  (** total stall cycles charged *)
 }
 
@@ -75,3 +91,12 @@ val dirty_owner : t -> Memory.addr -> int option
 
 val resident : t -> cpu:int -> int
 (** [resident t ~cpu] is the number of lines currently held by [cpu]. *)
+
+val node_of_cpu : t -> int -> int
+(** [node_of_cpu t cpu] is [cpu]'s NUMA node ({!Config.node_of};
+    always [0] on the flat machine).  Test oracle. *)
+
+val home_of_addr : t -> Memory.addr -> int
+(** [home_of_addr t a] is the home node of the memory holding [a]
+    (address-range partition; always [0] on the flat machine).  Test
+    oracle. *)

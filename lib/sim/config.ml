@@ -9,6 +9,9 @@ type t = {
   c2c_cost : int;
   upgrade_cost : int;
   rmw_cost : int;
+  nodes : int;
+  node_miss_cost : int;
+  node_c2c_cost : int;
   irq_cost : int;
   spin_cost : int;
   uncached_words : int;
@@ -28,12 +31,27 @@ let geometry t =
     c2c_cost = t.c2c_cost;
     upgrade_cost = t.upgrade_cost;
     rmw_cost = t.rmw_cost;
+    nodes = t.nodes;
+    node_miss_cost = t.node_miss_cost;
+    node_c2c_cost = t.node_c2c_cost;
   }
+
+(* The only remaining width cap in the simulator: the scheduler heap
+   packs (time, id) into one int with [Machine.id_bits] bits of id, and
+   Machine statically asserts that [1 lsl id_bits >= max_cpus].  The
+   cache sharer set is width-independent (an int-array word per 32 CPUs
+   per line), so raising this cap only requires widening the heap
+   packing — the assertion in machine.ml fails loudly if the two ever
+   disagree. *)
+let max_cpus = 1024
 
 let validate t =
   let check cond msg = if not cond then invalid_arg ("Sim.Config: " ^ msg) in
-  check (t.ncpus >= 1 && t.ncpus <= 64) "ncpus must be in [1, 64]";
+  check
+    (t.ncpus >= 1 && t.ncpus <= max_cpus)
+    (Printf.sprintf "ncpus must be in [1, %d]" max_cpus);
   Geometry.validate (geometry t);
+  check (t.nodes <= t.ncpus) "nodes must not exceed ncpus";
   check (t.memory_words > 0) "memory_words must be positive";
   check
     (t.memory_words mod t.line_words = 0)
@@ -59,6 +77,9 @@ let default =
     c2c_cost = Geometry.default.Geometry.c2c_cost;
     upgrade_cost = Geometry.default.Geometry.upgrade_cost;
     rmw_cost = Geometry.default.Geometry.rmw_cost;
+    nodes = Geometry.default.Geometry.nodes;
+    node_miss_cost = Geometry.default.Geometry.node_miss_cost;
+    node_c2c_cost = Geometry.default.Geometry.node_c2c_cost;
     irq_cost = 4;
     spin_cost = 4;
     uncached_words = 0;
@@ -69,9 +90,9 @@ let default =
   }
 
 let make ?geometry:geom ?ncpus ?memory_words ?line_words ?cache_lines ?ways
-    ?insn_cost ?miss_cost ?c2c_cost ?upgrade_cost ?rmw_cost ?irq_cost
-    ?spin_cost ?uncached_words ?uncached_cost ?bus_model ?bus_occupancy_div
-    ?mhz () =
+    ?insn_cost ?miss_cost ?c2c_cost ?upgrade_cost ?rmw_cost ?nodes
+    ?node_miss_cost ?node_c2c_cost ?irq_cost ?spin_cost ?uncached_words
+    ?uncached_cost ?bus_model ?bus_occupancy_div ?mhz () =
   (* Three layers of defaults, outermost wins: the compiled-in
      [default], then the [?geometry] record, then any explicit
      per-field argument. *)
@@ -94,6 +115,9 @@ let make ?geometry:geom ?ncpus ?memory_words ?line_words ?cache_lines ?ways
       c2c_cost = pick c2c_cost g.Geometry.c2c_cost;
       upgrade_cost = pick upgrade_cost g.Geometry.upgrade_cost;
       rmw_cost = pick rmw_cost g.Geometry.rmw_cost;
+      nodes = pick nodes g.Geometry.nodes;
+      node_miss_cost = pick node_miss_cost g.Geometry.node_miss_cost;
+      node_c2c_cost = pick node_c2c_cost g.Geometry.node_c2c_cost;
       irq_cost = dfl irq_cost default.irq_cost;
       spin_cost = dfl spin_cost default.spin_cost;
       uncached_words = dfl uncached_words default.uncached_words;
@@ -107,3 +131,10 @@ let make ?geometry:geom ?ncpus ?memory_words ?line_words ?cache_lines ?ways
   t
 
 let seconds_of_cycles t cycles = float_of_int cycles /. (float_of_int t.mhz *. 1e6)
+
+(* CPU-to-node mapping, shared by the cache model, the machine's
+   per-node buses, and the NUMA-aware kma global layer so they can
+   never disagree about topology: contiguous blocks, last node possibly
+   short when nodes does not divide ncpus. *)
+let cpus_per_node t = (t.ncpus + t.nodes - 1) / t.nodes
+let node_of t cpu = if t.nodes = 1 then 0 else cpu / cpus_per_node t

@@ -33,6 +33,16 @@ type t = {
       (** extra cycles to upgrade a shared line to exclusive (bus
           invalidation round) *)
   rmw_cost : int;  (** extra pipeline-stall cycles for an atomic RMW *)
+  nodes : int;
+      (** NUMA nodes (contiguous CPU blocks, address-range memory
+          homes); [1] = the flat paper machine, bit-identical to the
+          pre-NUMA model *)
+  node_miss_cost : int;
+      (** extra cycles for a miss serviced by remote-node memory (and
+          the third directory hop of an off-node dirty transfer) *)
+  node_c2c_cost : int;
+      (** extra cycles when a dirty transfer or invalidation crosses
+          the node interconnect *)
   irq_cost : int;  (** cost of disabling or enabling interrupts *)
   spin_cost : int;  (** cost of one spin-wait pause iteration *)
   uncached_words : int;
@@ -69,6 +79,9 @@ val make :
   ?c2c_cost:int ->
   ?upgrade_cost:int ->
   ?rmw_cost:int ->
+  ?nodes:int ->
+  ?node_miss_cost:int ->
+  ?node_c2c_cost:int ->
   ?irq_cost:int ->
   ?spin_cost:int ->
   ?uncached_words:int ->
@@ -95,5 +108,23 @@ val seconds_of_cycles : t -> int -> float
 
 val validate : t -> unit
 (** [validate t] checks the invariants documented in {!make}, including
-    {!Geometry.validate} on the cache-shaped subset.
+    {!Geometry.validate} on the cache-shaped subset, [ncpus <=]
+    {!max_cpus} and [nodes <= ncpus].
     @raise Invalid_argument on violation. *)
+
+val max_cpus : int
+(** Hard upper bound on [ncpus] (1024).  The cache sharer set is
+    width-independent, so this cap exists only for the scheduler's
+    packed heap keys; {!Machine} statically asserts its id field is
+    wide enough, so a future mismatch fails at module init, not as
+    silent bitmask corruption. *)
+
+val cpus_per_node : t -> int
+(** CPUs per NUMA node (last node possibly short), [ncpus] at
+    [nodes = 1]. *)
+
+val node_of : t -> int -> int
+(** [node_of t cpu] is the NUMA node of [cpu]: contiguous blocks of
+    {!cpus_per_node} CPUs.  Always [0] at [nodes = 1].  The single
+    source of topology truth for the cache model, the per-node buses
+    and the NUMA-aware global layer. *)

@@ -7,6 +7,9 @@ type t = {
   c2c_cost : int;
   upgrade_cost : int;
   rmw_cost : int;
+  nodes : int;
+  node_miss_cost : int;
+  node_c2c_cost : int;
 }
 
 let default =
@@ -19,6 +22,9 @@ let default =
     c2c_cost = 50;
     upgrade_cost = 20;
     rmw_cost = 12;
+    nodes = 1;
+    node_miss_cost = 60;
+    node_c2c_cost = 80;
   }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -41,12 +47,16 @@ let validate t =
   check (t.miss_cost >= 0) "miss_cost must be non-negative";
   check (t.c2c_cost >= 0) "c2c_cost must be non-negative";
   check (t.upgrade_cost >= 0) "upgrade_cost must be non-negative";
-  check (t.rmw_cost >= 0) "rmw_cost must be non-negative"
+  check (t.rmw_cost >= 0) "rmw_cost must be non-negative";
+  check (t.nodes >= 1) "nodes must be at least 1";
+  check (t.node_miss_cost >= 0) "node_miss_cost must be non-negative";
+  check (t.node_c2c_cost >= 0) "node_c2c_cost must be non-negative"
 
 let to_string t =
-  Printf.sprintf "line=%d,lines=%d,assoc=%d,insn=%d,miss=%d,c2c=%d,upgrade=%d,rmw=%d"
+  Printf.sprintf
+    "line=%d,lines=%d,assoc=%d,insn=%d,miss=%d,c2c=%d,upgrade=%d,rmw=%d,nodes=%d,node_miss=%d,node_c2c=%d"
     t.line_words t.cache_lines t.ways t.insn_cost t.miss_cost t.c2c_cost
-    t.upgrade_cost t.rmw_cost
+    t.upgrade_cost t.rmw_cost t.nodes t.node_miss_cost t.node_c2c_cost
 
 let of_string spec =
   let parse_pair acc pair =
@@ -77,11 +87,15 @@ let of_string spec =
                 | "c2c" -> Ok { g with c2c_cost = n }
                 | "upgrade" -> Ok { g with upgrade_cost = n }
                 | "rmw" -> Ok { g with rmw_cost = n }
+                | "nodes" -> Ok { g with nodes = n }
+                | "node_miss" -> Ok { g with node_miss_cost = n }
+                | "node_c2c" -> Ok { g with node_c2c_cost = n }
                 | _ ->
                     Error
                       (Printf.sprintf
                          "geometry: unknown key %S (want line, lines, \
-                          assoc, insn, miss, c2c, upgrade or rmw)"
+                          assoc, insn, miss, c2c, upgrade, rmw, nodes, \
+                          node_miss or node_c2c)"
                          key))))
   in
   let parts =

@@ -36,13 +36,29 @@ type t = {
           line (the "remote" cost that dominates the paper's profiles) *)
   upgrade_cost : int;  (** shared-to-exclusive bus invalidation round *)
   rmw_cost : int;  (** extra pipeline-stall cycles for an atomic RMW *)
+  nodes : int;
+      (** NUMA nodes the CPUs are split across (contiguous blocks of
+          [ncpus / nodes] CPUs, memory home nodes by address range).
+          [1] — the default — is the paper's flat shared-bus machine:
+          no NUMA surcharge is ever applied and cycle counts are
+          bit-identical to the pre-NUMA model. *)
+  node_miss_cost : int;
+      (** extra cycles when a memory miss is serviced by a {e remote}
+          node's memory (and for the third directory hop of a remote
+          dirty transfer whose home is on neither endpoint's node);
+          inert at [nodes = 1] *)
+  node_c2c_cost : int;
+      (** extra cycles when a dirty transfer or invalidation round
+          crosses the node interconnect; inert at [nodes = 1] *)
 }
 
 val default : t
 (** The compiled-in geometry every recorded result uses: 8-word
     (32-byte) lines, 256-line (8 KiB) fully-associative per-CPU caches,
     and the 50 MHz-Symmetry-calibrated costs (hit 0, miss 30, remote
-    dirty 50, upgrade 20, RMW 12, 1 cycle per instruction). *)
+    dirty 50, upgrade 20, RMW 12, 1 cycle per instruction).  NUMA is
+    off ([nodes = 1]); the node surcharges (remote-memory miss 60,
+    cross-node transfer 80) only bite once [nodes > 1]. *)
 
 val validate : t -> unit
 (** [validate t] checks the invariants documented on each field.
@@ -50,16 +66,16 @@ val validate : t -> unit
 
 val to_string : t -> string
 (** Canonical spec string, e.g.
-    ["line=8,lines=256,assoc=0,insn=1,miss=30,c2c=50,upgrade=20,rmw=12"].
+    ["line=8,lines=256,assoc=0,insn=1,miss=30,c2c=50,upgrade=20,rmw=12,nodes=1,node_miss=60,node_c2c=80"].
     [of_string (to_string t) = Ok t]. *)
 
 val of_string : string -> (t, string) result
 (** [of_string spec] parses a comma-separated [key=value] list over
     {!default}; keys are [line], [lines], [assoc], [insn], [miss],
-    [c2c], [upgrade], [rmw] (each value a non-negative integer).  An
-    unknown key, malformed pair, or invariant violation is [Error msg]
-    — the drivers turn it into a usage error (non-zero exit), never an
-    exception escaping mid-run. *)
+    [c2c], [upgrade], [rmw], [nodes], [node_miss], [node_c2c] (each
+    value a non-negative integer).  An unknown key, malformed pair, or
+    invariant violation is [Error msg] — the drivers turn it into a
+    usage error (non-zero exit), never an exception escaping mid-run. *)
 
 val env_var : string
 (** ["KMA_GEOMETRY"] — the environment variable both drivers consult

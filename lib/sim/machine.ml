@@ -50,12 +50,24 @@ type t = {
   spin_d : int; (* jitter modulus: 3 * spin_cost + 1 *)
   spin_k1d : int; (* hash stride mod spin_d *)
   spin_wd : int; (* 2^62 mod spin_d, for hash wraparound *)
-  mutable bus_free : int;
-      (* Virtual instant the shared bus becomes free.  Off-chip
-         transfers queue behind it; because operations execute in
-         global time order, grants are naturally first-come
+  node_of : int array; (* cpu -> NUMA node (all 0 on the flat machine) *)
+  bus_free : int array;
+      (* Virtual instant each node's bus becomes free.  The flat
+         machine has one entry — the paper's single shared bus; a NUMA
+         machine arbitrates per node, which is exactly why it scales
+         past the bus-saturation ceiling.  Off-chip transfers queue
+         behind the requester's node bus; because operations execute
+         in global time order, grants are naturally first-come
          first-served. *)
 }
+
+(* Scheduler heap keys pack (time, id) into one int with [id_bits] bits
+   of CPU id below the time; the static guard ties the packing to the
+   Config cap so widening one without the other fails at module init
+   instead of corrupting the schedule. *)
+let id_bits = 10
+let id_mask = (1 lsl id_bits) - 1
+let () = assert (Config.max_cpus <= 1 lsl id_bits)
 
 (* Multiplicative stride of the spin-jitter hash (see [exec_spin]). *)
 let spin_k1 = 2654435761
@@ -91,7 +103,8 @@ let create (cfg : Config.t) =
     spin_d;
     spin_k1d = spin_k1 mod spin_d;
     spin_wd = ((max_int mod spin_d) + 1) mod spin_d;
-    bus_free = 0;
+    node_of = Array.init cfg.ncpus (fun cpu -> Config.node_of cfg cpu);
+    bus_free = Array.make cfg.nodes 0;
   }
 
 let config t = t.cfg
@@ -104,7 +117,7 @@ let elapsed t =
   Array.fold_left (fun acc c -> max acc c.time) 0 t.cpus
 
 let reset_clocks t =
-  t.bus_free <- 0;
+  Array.fill t.bus_free 0 (Array.length t.bus_free) 0;
   Array.iter
     (fun c ->
       c.time <- 0;
@@ -193,16 +206,19 @@ let mem_access t (c : cpu) a kind =
   let stall = Cache.access t.cache ~cpu:c.id a kind in
   let stall =
     if stall > 0 && cfg.bus_model then begin
-      (* The transfer waits for the bus, then holds it for its
-         request/arbitration phases while the CPU stalls for the full
-         transfer latency. *)
-      let wait = max 0 (t.bus_free - c.time) in
+      (* The transfer waits for the requester's node bus, then holds it
+         for its request/arbitration phases while the CPU stalls for
+         the full transfer latency.  (One bus total on the flat
+         machine.) *)
+      let node = Array.unsafe_get t.node_of c.id in
+      let free = Array.unsafe_get t.bus_free node in
+      let wait = max 0 (free - c.time) in
       let occ =
         if t.bus_shift >= 0 then stall lsr t.bus_shift
         else stall / cfg.bus_occupancy_div
       in
       let occupancy = max 1 occ in
-      t.bus_free <- c.time + wait + occupancy;
+      Array.unsafe_set t.bus_free node (c.time + wait + occupancy);
       wait + stall
     end
     else stall
@@ -573,15 +589,15 @@ let run ?(max_cycles = 0) t progs =
        loop paid O(ncpus) twice, which is most of the event cost on
        wide machines. *)
     let cpus = t.cpus in
-    (* The heap stores packed keys [(time lsl 6) lor id], not cpu
+    (* The heap stores packed keys [(time lsl id_bits) lor id], not cpu
        records: integer comparison of packed keys IS the scheduler's
-       (time, id) lexicographic order (ncpus <= 64 is a Config
-       invariant), so sifts compare registers instead of chasing two
-       pointers per comparison, and the int array needs no GC write
-       barrier.  Virtual clocks would need to pass 2^56 cycles to
-       overflow the packing; the longest figure-scale runs sit around
-       2^27. *)
-    let key_of (c : cpu) = (c.time lsl 6) lor c.id in
+       (time, id) lexicographic order (ncpus <= Config.max_cpus <=
+       2^id_bits is a Config invariant, statically asserted above), so
+       sifts compare registers instead of chasing two pointers per
+       comparison, and the int array needs no GC write barrier.
+       Virtual clocks would need to pass 2^52 cycles to overflow the
+       packing; the longest figure-scale runs sit around 2^27. *)
+    let key_of (c : cpu) = (c.time lsl id_bits) lor c.id in
     let heap = Array.make n 0 in
     let hn = ref 0 in
     let sift_down () =
@@ -627,7 +643,7 @@ let run ?(max_cycles = 0) t progs =
     done;
     let rec loop () =
       if !hn > 0 then begin
-        let c = Array.unsafe_get cpus (Array.unsafe_get heap 0 land 63) in
+        let c = Array.unsafe_get cpus (Array.unsafe_get heap 0 land id_mask) in
         if max_cycles > 0 && c.time > max_cycles then raise (Watchdog c.time);
         (* min over the other pending CPUs = min of the root's children *)
         if !hn > 1 then begin
@@ -636,8 +652,8 @@ let run ?(max_cycles = 0) t progs =
             then Array.unsafe_get heap 2
             else Array.unsafe_get heap 1
           in
-          ctx.limit_time <- m asr 6;
-          ctx.limit_id <- m land 63
+          ctx.limit_time <- m asr id_bits;
+          ctx.limit_id <- m land id_mask
         end
         else begin
           ctx.limit_time <- max_int;

@@ -120,7 +120,8 @@ let run ~which ?config ?(days = 3) ?(day_ops = 2000) ?(night_blocks = 40)
   match which with
   | Baseline.Allocator.Newkma ->
       Some (run_kmem ?config ~days ~day_ops ~night_blocks ~seed ())
-  | Baseline.Allocator.Cookie | Baseline.Allocator.Mk
-  | Baseline.Allocator.Oldkma | Baseline.Allocator.Lazybuddy
-  | Baseline.Allocator.Nbbuddy | Baseline.Allocator.Bwfixed ->
+  | Baseline.Allocator.Cookie | Baseline.Allocator.Numakma
+  | Baseline.Allocator.Mk | Baseline.Allocator.Oldkma
+  | Baseline.Allocator.Lazybuddy | Baseline.Allocator.Nbbuddy
+  | Baseline.Allocator.Bwfixed ->
       None

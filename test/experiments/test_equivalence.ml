@@ -83,6 +83,56 @@ let test_fig7_pins_slow_path () =
             cycles (cell which ncpus))
         pins)
 
+(* E13 cycle pins: the lock-free arms' best-case cells at the default
+   flat geometry, fast and scheduled.  The bwfixed value reflects the
+   ISSUE-9 exhaustion fix (private count words commit by tagged CAS, so
+   every pop/push pays the rmw surcharge); nbbuddy is untouched. *)
+let e13_pins =
+  Baseline.Allocator.[ (Nbbuddy, 2, 54_300); (Bwfixed, 2, 21_000) ]
+
+let test_e13_default_geometry_pins () =
+  List.iter
+    (fun (which, ncpus, cycles) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s@%d" (Baseline.Allocator.name_of which) ncpus)
+        cycles (cell which ncpus))
+    e13_pins
+
+let test_e13_pins_slow_path () =
+  Sim.Machine.set_fast_path false;
+  Fun.protect
+    ~finally:(fun () -> Sim.Machine.set_fast_path true)
+    (fun () ->
+      List.iter
+        (fun (which, ncpus, cycles) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s@%d (scheduled)"
+               (Baseline.Allocator.name_of which)
+               ncpus)
+            cycles (cell which ncpus))
+        e13_pins)
+
+(* E8 pin: one pressure cell's throughput at the default geometry.
+   [pairs_per_sec] is a pure function of the cell's integer cycle
+   count, so exact float equality IS a cycle pin. *)
+let e8_pin = 327841.98016556021
+
+let e8_cell () =
+  let r = Experiments.Pressure.run ~ncpus:2 ~rounds:4 ~batch:30 ~rates:[ 0.0 ] () in
+  let s =
+    List.find (fun s -> s.Experiments.Pressure.name = "newkma")
+      r.Experiments.Pressure.series
+  in
+  (List.hd s.Experiments.Pressure.rows).Experiments.Pressure.pairs_per_sec
+
+let test_e8_default_geometry_pin () =
+  let check_exact () =
+    Alcotest.(check (float 0.)) "newkma@rate0 pairs/s" e8_pin (e8_cell ())
+  in
+  check_exact ();
+  Sim.Machine.set_fast_path false;
+  Fun.protect ~finally:(fun () -> Sim.Machine.set_fast_path true) check_exact
+
 let suite =
   [
     Alcotest.test_case "fig7 slice: fast = slow" `Quick
@@ -93,4 +143,10 @@ let suite =
       test_fig7_default_geometry_pins;
     Alcotest.test_case "fig7 pins on the scheduled path" `Quick
       test_fig7_pins_slow_path;
+    Alcotest.test_case "E13 default-geometry cycle pins" `Quick
+      test_e13_default_geometry_pins;
+    Alcotest.test_case "E13 pins on the scheduled path" `Quick
+      test_e13_pins_slow_path;
+    Alcotest.test_case "E8 default-geometry pin" `Quick
+      test_e8_default_geometry_pin;
   ]

@@ -7,4 +7,5 @@ let () =
       ("plot", Test_plot.suite);
       ("equivalence", Test_equivalence.suite);
       ("geomsweep", Test_geomsweep.suite);
+      ("numa-exp", Test_numa_exp.suite);
     ]

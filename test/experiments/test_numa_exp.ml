@@ -1,0 +1,51 @@
+(* E14 (NUMA scaling) at smoke scale: the sweep must be bit-identical
+   at any --jobs fan-out, and the per-node global layer must degenerate
+   to exactly the flat allocator on a 1-node machine (the tentpole's
+   bit-identicality contract, seen from the allocator side). *)
+
+let small ~jobs =
+  Experiments.Numa.run ~jobs ~cpus:[ 8 ] ~nodes:[ 1; 2 ] ~iters:4 ~depth:24 ()
+
+let test_jobs_determinism () =
+  let a = small ~jobs:1 in
+  let b = small ~jobs:3 in
+  Alcotest.(check bool) "rows identical across --jobs" true (a = b)
+
+let test_flat_identity () =
+  let rows =
+    Experiments.Numa.run ~cpus:[ 8 ] ~nodes:[ 1 ] ~iters:4 ~depth:24 ()
+  in
+  let cycles which =
+    (List.find (fun r -> r.Experiments.Numa.which = which) rows)
+      .Experiments.Numa.cycles_per_pair
+  in
+  Alcotest.(check (float 0.))
+    "numakma = newkma on a flat machine"
+    (cycles Baseline.Allocator.Newkma)
+    (cycles Baseline.Allocator.Numakma)
+
+let test_numa_splits_traffic () =
+  (* On a real NUMA machine the per-node layer must beat the flat one
+     and pay a lower remote share — the E14 headline at smoke scale. *)
+  let rows =
+    Experiments.Numa.run ~cpus:[ 16 ] ~nodes:[ 4 ] ~iters:4 ~depth:24 ()
+  in
+  let row which =
+    List.find (fun r -> r.Experiments.Numa.which = which) rows
+  in
+  let flat = row Baseline.Allocator.Newkma in
+  let pernode = row Baseline.Allocator.Numakma in
+  Alcotest.(check bool) "per-node gblfree is faster" true
+    (pernode.Experiments.Numa.cycles_per_pair
+    < flat.Experiments.Numa.cycles_per_pair);
+  Alcotest.(check bool) "per-node gblfree pays fewer remote transfers" true
+    (pernode.Experiments.Numa.remote_pct < flat.Experiments.Numa.remote_pct)
+
+let suite =
+  [
+    Alcotest.test_case "E14 deterministic across jobs" `Quick
+      test_jobs_determinism;
+    Alcotest.test_case "numakma = newkma at nodes=1" `Quick test_flat_identity;
+    Alcotest.test_case "per-node layer wins on NUMA" `Quick
+      test_numa_splits_traffic;
+  ]

@@ -88,6 +88,50 @@ let test_exhaustion () =
   Alcotest.(check int) "class conserved" total
     (Lockfree.Bwfixed.free_blocks_oracle b ~c:8)
 
+let test_steal () =
+  (* The per-CPU-visible exhaustion fix (ROADMAP): blocks parked on
+     another CPU's private stack must be reachable.  CPU 0 drains class
+     8 entirely, then frees 10 blocks back — they sit in CPU 0's
+     private stack, below the flush cap, with the shared stack empty.
+     CPU 1's alloc then has nothing private and nothing shared; before
+     the fix it returned 0 here.  Now it claims CPU 0's stack with one
+     tagged CAS, routes the blocks through the shared stack, and
+     serves the alloc. *)
+  let m = machine () in
+  let b = Lockfree.Bwfixed.create m in
+  let s = Lockfree.Bwfixed.stats b in
+  let parked = 10 in
+  Sim.Machine.run m
+    [|
+      (fun _ ->
+        let live = ref [] in
+        let rec fill () =
+          let a = Lockfree.Bwfixed.alloc b ~bytes:4096 in
+          if a <> 0 then begin
+            live := a :: !live;
+            fill ()
+          end
+        in
+        fill ();
+        for _ = 1 to parked do
+          match !live with
+          | a :: rest ->
+              Lockfree.Bwfixed.free b ~addr:a ~bytes:4096;
+              live := rest
+          | [] -> Alcotest.fail "class 8 arena too small"
+        done);
+    |];
+  Alcotest.(check int) "blocks parked on CPU 0" parked
+    (Lockfree.Bwfixed.free_blocks_oracle b ~c:8);
+  let got = ref 0 in
+  Sim.Machine.run m
+    [| (fun _ -> ()); (fun _ -> got := Lockfree.Bwfixed.alloc b ~bytes:4096) |];
+  Alcotest.(check bool) "CPU 1's alloc served from CPU 0's stack" true
+    (!got <> 0);
+  Alcotest.(check bool) "a steal happened" true (s.Lockfree.Stats.steals >= 1);
+  Alcotest.(check int) "conserved after the steal" (parked - 1)
+    (Lockfree.Bwfixed.free_blocks_oracle b ~c:8)
+
 let test_bad_sizes () =
   let m = machine () in
   let b = Lockfree.Bwfixed.create m in
@@ -104,5 +148,6 @@ let suite =
     Alcotest.test_case "refill batching" `Quick test_refill_batching;
     Alcotest.test_case "flush edge" `Quick test_flush_edge;
     Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "steal on exhaustion" `Quick test_steal;
     Alcotest.test_case "bad sizes" `Quick test_bad_sizes;
   ]

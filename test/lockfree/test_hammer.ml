@@ -170,6 +170,46 @@ let test_bwfixed_conservation () =
       (Lockfree.Bwfixed.free_blocks_oracle b ~c)
   done
 
+let test_nbbuddy_helping () =
+  (* Preemption-heavy hammer for the unmark helping path (ISSUE 9):
+     the window is two ops wide — an allocation must land in a subtree
+     between a freeing CPU's parent-bit clear and its recheck — so the
+     E13 sweeps, whose per-CPU hints spread CPUs across wide rows,
+     never hit it ([helps] stays 0).  Force it: a depth-8 tree (4096
+     memory words) has exactly two 2048 B nodes under one 4096 B root,
+     so eight CPUs mixing the two top classes collide on every
+     operation and the scheduler drives allocations through the
+     window.  Quiescent invariants and conservation must survive the
+     storm. *)
+  let m =
+    Sim.Machine.create
+      (Sim.Config.make ~ncpus:8 ~memory_words:4096 ~uncached_words:512 ())
+  in
+  let b = Lockfree.Nbbuddy.create m in
+  let program cpu =
+    let rnd = ref (9 + ((cpu + 1) * 6271)) in
+    for _ = 1 to 400 do
+      rnd := lcg !rnd;
+      let bytes = if (!rnd lsr 11) land 3 = 0 then 4096 else 2048 in
+      let addr = Lockfree.Nbbuddy.alloc b ~bytes in
+      if addr <> 0 then begin
+        Sim.Machine.write addr cpu;
+        Lockfree.Nbbuddy.free b ~addr ~bytes
+      end
+    done
+  in
+  Sim.Machine.run_symmetric m ~ncpus:8 program;
+  let s = Lockfree.Nbbuddy.stats b in
+  Alcotest.(check bool) "helping path exercised" true
+    (s.Lockfree.Stats.helps > 0);
+  Alcotest.(check bool) "rollback path exercised" true
+    (s.Lockfree.Stats.conflicts > 0);
+  (match Lockfree.Nbbuddy.invariant_oracle b with
+  | None -> ()
+  | Some msg -> Alcotest.failf "invariant violated: %s" msg);
+  Alcotest.(check int) "conservation" 0
+    (Lockfree.Nbbuddy.allocated_words_oracle b)
+
 let test_crosscpu_remote_free () =
   (* producer/consumer rings: blocks allocated on one CPU are freed on
      another — the remote-free path of both arms end to end *)
@@ -188,6 +228,7 @@ let suite =
   [
     Alcotest.test_case "nbbuddy hammer" `Quick test_nbbuddy_hammer;
     Alcotest.test_case "nbbuddy invariants" `Quick test_nbbuddy_invariants;
+    Alcotest.test_case "nbbuddy helping" `Quick test_nbbuddy_helping;
     Alcotest.test_case "bwfixed hammer" `Quick test_bwfixed_hammer;
     Alcotest.test_case "bwfixed conservation" `Quick test_bwfixed_conservation;
     Alcotest.test_case "crosscpu remote free" `Quick test_crosscpu_remote_free;

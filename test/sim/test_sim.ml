@@ -5,6 +5,7 @@ let () =
       ("geometry", Test_geometry.suite);
       ("memory", Test_memory.suite);
       ("cache", Test_cache.suite);
+      ("numa", Test_numa.suite);
       ("machine", Test_machine.suite);
       ("spinlock", Test_spinlock.suite);
       ("litmus", Test_litmus.suite);
