@@ -705,7 +705,8 @@ let scenario_cmd =
            ])
          Scenario.all)
   in
-  let run name seed scale cpus windows report heapcheck =
+  let whichs = allocs_flag ~default:[ Baseline.Allocator.Newkma ] in
+  let run name seed scale cpus windows report whichs heapcheck =
     match name with
     | None | Some "list" -> list_library ()
     | Some n -> (
@@ -736,50 +737,76 @@ let scenario_cmd =
             (match Workload.Trace.validate t with
             | Ok () -> ()
             | Error e -> failwith ("scenario trace invalid: " ^ e));
-            with_heapcheck ~mode:heapcheck (fun () ->
-                if report then
-                  print_string
-                    (Scenario.Pathology.to_string
-                       (Scenario.Pathology.analyze ~windows ~name:n t))
-                else begin
-                  let ncpus = max 1 (Workload.Trace.ncpus t) in
-                  let cfg = Workload.Rig.paper_config ~ncpus () in
-                  let m = Sim.Machine.create cfg in
-                  (* newkma booted by hand so --heapcheck can checkpoint
-                     against the kmem handle after the replay. *)
-                  let kmem =
-                    Kma.Kmem.create m
-                      ~params:
-                        (Kma.Params.auto
-                           ~memory_words:cfg.Sim.Config.memory_words)
-                      ()
-                  in
-                  let a =
-                    {
-                      Baseline.Allocator.name = "newkma";
-                      alloc =
-                        (fun ~bytes ->
-                          match Kma.Kmem.try_alloc kmem ~bytes with
-                          | Some addr -> addr
-                          | None -> 0);
-                      free =
-                        (fun ~addr ~bytes -> Kma.Kmem.free kmem ~addr ~bytes);
-                    }
-                  in
-                  let r = Workload.Trace.replay m t a in
-                  Heapcheck.checkpoint kmem;
+            let one which =
+              (* With the default single-arm roster the label is the
+                 bare scenario name, keeping the output byte-identical
+                 to the pre---allocs driver. *)
+              let label =
+                if which = Baseline.Allocator.Newkma then n
+                else
+                  Printf.sprintf "%s[%s]" n
+                    (Baseline.Allocator.name_of which)
+              in
+              if report then
+                print_string
+                  (Scenario.Pathology.to_string
+                     (Scenario.Pathology.analyze ~windows ~which ~name:label t))
+              else begin
+                let ncpus = max 1 (Workload.Trace.ncpus t) in
+                let cfg = Workload.Rig.paper_config ~ncpus () in
+                let m = Sim.Machine.create cfg in
+                let print_result r =
                   let cfg = Sim.Machine.config m in
                   Printf.printf
                     "scenario %s: seed %d, %d CPUs, %d events -> %d ops (%d \
                      failed, %d skipped frees) in %d cycles (%s ops/s)\n"
-                    n seed ncpus (List.length t) r.Workload.Trace.ops
+                    label seed ncpus (List.length t) r.Workload.Trace.ops
                     r.Workload.Trace.failures r.Workload.Trace.skipped_frees
                     r.Workload.Trace.cycles
                     (Experiments.Series.sci
                        (float_of_int r.Workload.Trace.ops
                        /. Sim.Config.seconds_of_cycles cfg
                             r.Workload.Trace.cycles))
-                end))
+                in
+                match which with
+                | Baseline.Allocator.Newkma ->
+                    (* newkma booted by hand so --heapcheck can
+                       checkpoint against the kmem handle after the
+                       replay. *)
+                    let kmem =
+                      Kma.Kmem.create m
+                        ~params:
+                          (Kma.Params.auto
+                             ~memory_words:cfg.Sim.Config.memory_words)
+                        ()
+                    in
+                    let a =
+                      {
+                        Baseline.Allocator.name = "newkma";
+                        alloc =
+                          (fun ~bytes ->
+                            match Kma.Kmem.try_alloc kmem ~bytes with
+                            | Some addr -> addr
+                            | None -> 0);
+                        free =
+                          (fun ~addr ~bytes -> Kma.Kmem.free kmem ~addr ~bytes);
+                      }
+                    in
+                    let r = Workload.Trace.replay m t a in
+                    Heapcheck.checkpoint kmem;
+                    print_result r
+                | w ->
+                    let a, probe = Baseline.Allocator.create_probed w m in
+                    let r = Workload.Trace.replay m t a in
+                    print_result r;
+                    (match probe.Baseline.Allocator.stats with
+                    | Some st ->
+                        Printf.printf "  probe: %s\n"
+                          (Lockfree.Stats.to_string st)
+                    | None -> ())
+              end
+            in
+            with_heapcheck ~mode:heapcheck (fun () -> List.iter one whichs))
   in
   Cmd.v
     (Cmd.info "scenario"
@@ -787,9 +814,10 @@ let scenario_cmd =
          "Replay a library scenario (production-shaped multi-CPU trace), \
           optionally scaled with $(b,--scale) / $(b,--cpus); \
           $(b,--report) prints the pathology analysis with flight-recorder \
-          evidence.")
+          evidence; $(b,--allocs) replays the same trace on other roster \
+          arms (e.g. the lock-free pair) under the same detectors.")
     Term.(
-      const run $ name_arg $ seed $ scale $ cpus $ windows $ report
+      const run $ name_arg $ seed $ scale $ cpus $ windows $ report $ whichs
       $ heapcheck_flag)
 
 let lockfree_cmd =
@@ -965,6 +993,199 @@ let geometry_cmd =
     Term.(
       const run $ geometry_flag $ ncpus $ iters $ depth $ bytes $ jobs_flag)
 
+let service_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Scenario shape to serve ($(b,list) or omit to list the shapes).")
+  in
+  let mode_conv =
+    let parse = function
+      | "fixed" -> Ok `Fixed
+      | "adaptive" -> Ok `Adaptive
+      | "both" -> Ok `Both
+      | s ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown mode %S (valid: fixed, adaptive, both)"
+                 s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with `Fixed -> "fixed" | `Adaptive -> "adaptive" | `Both -> "both")
+    in
+    Arg.conv (parse, print)
+  in
+  let arrival_conv =
+    let parse s =
+      if s = "closed" then Ok `Closed
+      else
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "open" -> (
+            let rest = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt rest with
+            | Some m when m >= 1 -> Ok (`Open_ns m)
+            | _ ->
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "bad open-loop mean %S (want open:<mean-ns>, >= 1)" rest)))
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown arrival %S (valid: closed, open:<mean-ns>)" s))
+    in
+    let print ppf (a : Service.arrival) =
+      Format.pp_print_string ppf
+        (match a with
+        | `Closed -> "closed"
+        | `Open_ns m -> Printf.sprintf "open:%d" m)
+    in
+    Arg.conv (parse, print)
+  in
+  let pos_int what =
+    let parse s =
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok v
+      | _ -> Error (`Msg (Printf.sprintf "bad %s %S (want an int >= 1)" what s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (pos_int "domain count") 2
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains (default 2).")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt (pos_int "request count") 100_000
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Requests served per domain (default 100000).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic seed.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv `Both
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Pool geometry: $(b,fixed), $(b,adaptive), or $(b,both) to A/B \
+             them on the same load (default).")
+  in
+  let refill =
+    Arg.(
+      value & flag
+      & info [ "refill" ]
+          ~doc:
+            "Add a dedicated depot-refill domain (SpeedMalloc's allocation \
+             core): workers never pay constructor cost in steady state.")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (pos_int "target") 16
+      & info [ "target" ] ~doc:"Base magazine target (batch size).")
+  in
+  let depot_batches =
+    Arg.(
+      value
+      & opt (pos_int "depot bound") 32
+      & info [ "depot-batches" ] ~doc:"Base depot bound, in batches.")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt arrival_conv `Closed
+      & info [ "arrival" ] ~docv:"KIND"
+          ~doc:
+            "Request arrival: $(b,closed) (back-to-back) or \
+             $(b,open:<mean-ns>) (seeded inter-arrival, latency measured \
+             from the scheduled arrival).")
+  in
+  let obj_bytes =
+    Arg.(
+      value
+      & opt (pos_int "object size") 256
+      & info [ "obj-bytes" ] ~doc:"Pooled object size in bytes.")
+  in
+  let list_shapes () =
+    Experiments.Series.heading "Service shapes (lib/scenario request graphs)";
+    Experiments.Series.table
+      ~header:[ "name"; "served as" ]
+      (List.filter_map
+         (fun (s : Scenario.t) ->
+           match Service.shape_of_scenario s.Scenario.name with
+           | None -> None
+           | Some _ -> Some [ s.Scenario.name; s.Scenario.summary ])
+         Scenario.all)
+  in
+  let run name domains requests seed mode refill target depot_batches arrival
+      obj_bytes =
+    match name with
+    | None | Some "list" -> list_shapes ()
+    | Some n -> (
+        match Service.shape_of_scenario n with
+        | None ->
+            Printf.eprintf "unknown scenario %S (try: %s)\n" n
+              (String.concat ", " (Scenario.names ()));
+            exit 2
+        | Some _ ->
+            let cfg =
+              {
+                (Service.default ~scenario:n) with
+                Service.domains;
+                requests;
+                seed;
+                refill;
+                target;
+                depot_batches;
+                arrival;
+                obj_bytes;
+              }
+            in
+            let serve m =
+              let o = Service.run { cfg with Service.mode = m } in
+              print_string (Service.to_string o);
+              o
+            in
+            (match mode with
+            | `Fixed -> ignore (serve `Fixed)
+            | `Adaptive -> ignore (serve `Adaptive)
+            | `Both ->
+                let f = serve `Fixed in
+                print_newline ();
+                let a = serve `Adaptive in
+                let rate o =
+                  if Float.is_nan o.Service.o_contention then 0.
+                  else o.Service.o_contention
+                in
+                Printf.printf
+                  "\nfixed vs adaptive: contended acquisitions %d -> %d \
+                   (rate %.4f -> %.4f), p99 %.0f -> %.0f ns\n"
+                  f.Service.o_stats.Objpool.Pstats.s_depot_contended
+                  a.Service.o_stats.Objpool.Pstats.s_depot_contended (rate f)
+                  (rate a) f.Service.o_p99 a.Service.o_p99))
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Serve a production-shaped request load through the native \
+          per-domain pool (lib/service): multi-domain workers, cross-domain \
+          frees, p50/p99/p999 request latency, and depot-contention \
+          accounting, with $(b,--mode both) A/B-ing fixed vs \
+          contention-adaptive pool geometry (E15).")
+    Term.(
+      const run $ name_arg $ domains $ requests $ seed $ mode $ refill
+      $ target $ depot_batches $ arrival $ obj_bytes)
+
 let default =
   Term.(
     ret
@@ -990,5 +1211,5 @@ let () =
             fig7_cmd; fig8_cmd; fig9_cmd; opcounts_cmd; analysis_cmd;
             missrates_cmd; geometry_cmd; numa_cmd; lockfree_cmd;
             pressure_cmd; fuzz_cmd; cyclic_cmd; crosscpu_cmd; trace_cmd;
-            scenario_cmd;
+            scenario_cmd; service_cmd;
           ]))

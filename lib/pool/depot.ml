@@ -1,7 +1,7 @@
 type 'a t = {
   mutex : Mutex.t;
-  target : int;
-  max_batches : int;
+  mutable target : int;
+  mutable max_batches : int;
   mutable stock : 'a list list;
   mutable nbatches : int;
   mutable loose : 'a list;  (* the bucket list: odd-sized returns *)
@@ -21,17 +21,21 @@ let create ~target ~max_batches =
     nloose = 0;
   }
 
+(* [with_lock] reports whether the lock was observed held at acquire
+   time: a failed [try_lock] is exactly one other domain inside the
+   depot, which is the contention signal the adaptive pool feeds on. *)
 let with_lock t f =
-  Mutex.lock t.mutex;
+  let contended = not (Mutex.try_lock t.mutex) in
+  if contended then Mutex.lock t.mutex;
   match f () with
   | v ->
       Mutex.unlock t.mutex;
-      v
+      (v, contended)
   | exception e ->
       Mutex.unlock t.mutex;
       raise e
 
-let get t =
+let get_observed t =
   with_lock t (fun () ->
       match t.stock with
       | b :: rest ->
@@ -48,7 +52,9 @@ let get t =
             Some b
           end)
 
-let put t batch =
+let get t = fst (get_observed t)
+
+let put_observed t batch =
   with_lock t (fun () ->
       if t.nbatches >= t.max_batches then `Dropped
       else begin
@@ -57,37 +63,52 @@ let put t batch =
         `Kept
       end)
 
+let put t batch = fst (put_observed t batch)
+
 (* Regroup odd-sized returns into full target-sized batches — the
    paper's bucket list.  Overflow beyond the bound goes to the GC. *)
-let put_partial t items =
-  with_lock t (fun () ->
-      t.loose <- items @ t.loose;
-      t.nloose <- t.nloose + List.length items;
-      while t.nloose >= t.target do
-        let rec take n acc rest =
-          if n = 0 then (acc, rest)
-          else
-            match rest with
-            | x :: tl -> take (n - 1) (x :: acc) tl
-            | [] -> (acc, [])
-        in
-        let batch, rest = take t.target [] t.loose in
-        t.loose <- rest;
-        t.nloose <- t.nloose - t.target;
-        if t.nbatches < t.max_batches then begin
-          t.stock <- batch :: t.stock;
-          t.nbatches <- t.nbatches + 1
-        end
-        (* else: dropped to the GC *)
-      done)
+let put_partial_observed t items =
+  snd
+    (with_lock t (fun () ->
+         t.loose <- items @ t.loose;
+         t.nloose <- t.nloose + List.length items;
+         while t.nloose >= t.target do
+           let rec take n acc rest =
+             if n = 0 then (acc, rest)
+             else
+               match rest with
+               | x :: tl -> take (n - 1) (x :: acc) tl
+               | [] -> (acc, [])
+           in
+           let batch, rest = take t.target [] t.loose in
+           t.loose <- rest;
+           t.nloose <- t.nloose - t.target;
+           if t.nbatches < t.max_batches then begin
+             t.stock <- batch :: t.stock;
+             t.nbatches <- t.nbatches + 1
+           end
+           (* else: dropped to the GC *)
+         done))
 
-let batches t = with_lock t (fun () -> t.nbatches)
+let put_partial t items = ignore (put_partial_observed t items)
+
+let set_geometry t ~target ~max_batches =
+  if target < 1 then invalid_arg "Pool.Depot.set_geometry: target < 1";
+  if max_batches < 0 then invalid_arg "Pool.Depot.set_geometry: max_batches < 0";
+  ignore
+    (with_lock t (fun () ->
+         t.target <- target;
+         t.max_batches <- max_batches))
+
+let bound t = fst (with_lock t (fun () -> t.max_batches))
+let batches t = fst (with_lock t (fun () -> t.nbatches))
 
 let drain t =
-  with_lock t (fun () ->
-      let all = List.concat t.stock @ t.loose in
-      t.stock <- [];
-      t.nbatches <- 0;
-      t.loose <- [];
-      t.nloose <- 0;
-      all)
+  fst
+    (with_lock t (fun () ->
+         let all = List.concat t.stock @ t.loose in
+         t.stock <- [];
+         t.nbatches <- 0;
+         t.loose <- [];
+         t.nloose <- 0;
+         all))

@@ -1,11 +1,22 @@
-(** The global layer for OCaml domains: a mutex-protected stock of
-    full target-sized batches, exchanged whole with per-domain
-    magazines — one lock round-trip moves [target] objects.
+(** The global layer for OCaml domains, after the paper's global
+    freelist: a mutex-protected stock of full target-sized batches,
+    exchanged whole with per-domain magazines — one lock round-trip
+    moves [target] objects.
 
     When the depot overflows its bound, the excess batch is simply
     dropped: under a garbage collector the "coalescing layers" are the
     GC itself, which is the per-design substitution documented in
-    DESIGN.md. *)
+    DESIGN.md.
+
+    Invariants: [nbatches] equals [length stock]; every stocked batch
+    has at most [target] items at the time it was grouped; the loose
+    bucket holds fewer than [target] items outside of a [put_partial]
+    regroup; [nbatches <= max_batches] except transiently inside a
+    geometry shrink, which the next put corrects by dropping.
+
+    The [_observed] variants additionally report whether the depot
+    mutex was held by another domain at acquire time ([try_lock]
+    failed) — the contention signal {!Pool}'s adaptive mode feeds on. *)
 
 type 'a t
 
@@ -18,14 +29,33 @@ val get : 'a t -> 'a list option
 (** [get t] takes one batch (at most [target] items), or [None] when
     empty. *)
 
+val get_observed : 'a t -> 'a list option * bool
+(** [get] plus the contended flag. *)
+
 val put : 'a t -> 'a list -> [ `Kept | `Dropped ]
 (** [put t batch] stores a batch; [`Dropped] when the depot is full
     (the batch is released to the GC). *)
+
+val put_observed : 'a t -> 'a list -> [ `Kept | `Dropped ] * bool
+(** [put] plus the contended flag. *)
 
 val put_partial : 'a t -> 'a list -> unit
 (** [put_partial t items] accepts an odd-sized return (magazine drain at
     domain exit), regrouping into batches internally; overflow beyond
     the bound is dropped. *)
+
+val put_partial_observed : 'a t -> 'a list -> bool
+(** [put_partial] plus the contended flag. *)
+
+val set_geometry : 'a t -> target:int -> max_batches:int -> unit
+(** Adjust the regroup batch size and the stock bound under the lock.
+    Already-stocked batches keep their old size (magazines split
+    overlong batches on install); a lowered bound takes effect at the
+    next put.
+    @raise Invalid_argument if [target < 1] or [max_batches < 0]. *)
+
+val bound : 'a t -> int
+(** Current [max_batches] (monitoring; may be adapted at runtime). *)
 
 val batches : 'a t -> int
 (** Current stock (for monitoring; momentarily stale by nature). *)

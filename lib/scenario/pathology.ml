@@ -19,6 +19,7 @@ type report = {
   free_lat : percentiles;
   frag_curve : frag_point list;
   findings : finding list;
+  probe : string list;
 }
 
 let percentiles_of lats =
@@ -246,7 +247,8 @@ let tail_findings fr (alloc_lat : percentiles) =
   end
   else []
 
-let analyze ?(windows = 16) ?memory_words ~name t =
+let analyze ?(windows = 16) ?memory_words ?(which = Baseline.Allocator.Newkma)
+    ~name t =
   if windows < 1 then invalid_arg "Scenario.Pathology.analyze: windows < 1";
   let ncpus = max 1 (Workload.Trace.ncpus t) in
   let cfg = Workload.Rig.paper_config ?memory_words ~ncpus () in
@@ -263,18 +265,32 @@ let analyze ?(windows = 16) ?memory_words ~name t =
       | Some r -> Flightrec.Recorder.install r
       | None -> Flightrec.Recorder.uninstall ())
   @@ fun () ->
-  (* Boot newkma by hand (not [Baseline.Allocator.create]) so we keep
-     the [Kma.Kmem.t] handle the heapcheck fragmentation walk needs. *)
-  let kmem = Kma.Kmem.create m ~params () in
-  let a =
-    {
-      Baseline.Allocator.name = "newkma";
-      alloc =
-        (fun ~bytes ->
-          match Kma.Kmem.try_alloc kmem ~bytes with Some a -> a | None -> 0);
-      free = (fun ~addr ~bytes -> Kma.Kmem.free kmem ~addr ~bytes);
-    }
+  (* For the new allocator, boot newkma by hand (not
+     [Baseline.Allocator.create]) so we keep the [Kma.Kmem.t] handle
+     the heapcheck fragmentation walk needs.  Any other roster arm
+     boots through [create_probed]; without a kmem handle the
+     fragmentation samples carry no page counts (the curve still
+     tracks live bytes), and lock-free arms report their retry
+     counters instead. *)
+  let booted =
+    match which with
+    | Baseline.Allocator.Newkma ->
+        let kmem = Kma.Kmem.create m ~params () in
+        let a =
+          {
+            Baseline.Allocator.name = "newkma";
+            alloc =
+              (fun ~bytes ->
+                match Kma.Kmem.try_alloc kmem ~bytes with
+                | Some a -> a
+                | None -> 0);
+            free = (fun ~addr ~bytes -> Kma.Kmem.free kmem ~addr ~bytes);
+          }
+        in
+        `Newkma (kmem, a)
+    | w -> `Probed (Baseline.Allocator.create_probed w m)
   in
+  let a = match booted with `Newkma (_, a) -> a | `Probed (a, _) -> a in
   let page_bytes = params.Kma.Params.page_bytes in
   let alloc_lats = ref [] and free_lats = ref [] in
   let on_op ~cpu:_ ~alloc ~latency =
@@ -287,22 +303,34 @@ let analyze ?(windows = 16) ?memory_words ~name t =
   let curve = ref [] in
   let consumed = ref 0 in
   let sample () =
-    (* Between [step] windows every simulated CPU is parked between
-       operations: a quiescent point, so the heapcheck walk is sound. *)
-    let f = Heapcheck.fragmentation kmem in
-    Heapcheck.checkpoint kmem;
     let live = Workload.Trace.live_bytes s in
-    curve :=
-      {
-        at_ops = !consumed;
-        granted_pages = f.Heapcheck.granted_pages;
-        live_bytes = live;
-        held_over_live =
-          (if live = 0 then Float.nan
-           else float_of_int (f.Heapcheck.granted_pages * page_bytes)
-                /. float_of_int live);
-      }
-      :: !curve
+    let point =
+      match booted with
+      | `Newkma (kmem, _) ->
+          (* Between [step] windows every simulated CPU is parked
+             between operations: a quiescent point, so the heapcheck
+             walk is sound. *)
+          let f = Heapcheck.fragmentation kmem in
+          Heapcheck.checkpoint kmem;
+          {
+            at_ops = !consumed;
+            granted_pages = f.Heapcheck.granted_pages;
+            live_bytes = live;
+            held_over_live =
+              (if live = 0 then Float.nan
+               else
+                 float_of_int (f.Heapcheck.granted_pages * page_bytes)
+                 /. float_of_int live);
+          }
+      | `Probed _ ->
+          {
+            at_ops = !consumed;
+            granted_pages = 0;
+            live_bytes = live;
+            held_over_live = Float.nan;
+          }
+    in
+    curve := point :: !curve
   in
   let continue = ref (total > 0) in
   while !continue do
@@ -310,7 +338,26 @@ let analyze ?(windows = 16) ?memory_words ~name t =
     consumed := min total (!consumed + window);
     sample ()
   done;
+  let final_live = Workload.Trace.live_bytes s in
   let result = Workload.Trace.finish s in
+  let probe =
+    match booted with
+    | `Newkma _ -> []
+    | `Probed (_, p) ->
+        let lines =
+          match p.Baseline.Allocator.stats with
+          | Some st ->
+              [ Printf.sprintf "probe: %s" (Lockfree.Stats.to_string st) ]
+          | None -> []
+        in
+        (* The drain oracle is only meaningful with every block
+           returned; skip it when the trace leaves memory live. *)
+        if final_live = 0 then
+          match p.Baseline.Allocator.drained () with
+          | Some msg -> lines @ [ "probe: drain-oracle: " ^ msg ]
+          | None -> lines @ [ "probe: drain-oracle: clean" ]
+        else lines
+  in
   let frag_curve = List.rev !curve in
   let alloc_lat = percentiles_of !alloc_lats in
   let free_lat = percentiles_of !free_lats in
@@ -336,6 +383,7 @@ let analyze ?(windows = 16) ?memory_words ~name t =
     free_lat;
     frag_curve;
     findings;
+    probe;
   }
 
 let to_string r =
@@ -370,4 +418,5 @@ let to_string r =
           pf "  [%s] %s\n" f.pathology f.detail;
           List.iter (fun e -> pf "      evidence: %s\n" e) f.evidence)
         fs);
+  List.iter (fun l -> pf "%s\n" l) r.probe;
   Buffer.contents b

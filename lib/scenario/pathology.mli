@@ -57,21 +57,33 @@ type report = {
   free_lat : percentiles;
   frag_curve : frag_point list;
   findings : finding list;  (** empty = no pathology detected *)
+  probe : string list;
+      (** allocator-arm observations with no flightrec counterpart:
+          lock-free retry counters and the drain oracle (empty for the
+          new allocator) *)
 }
 
 val analyze :
   ?windows:int ->
   ?memory_words:int ->
+  ?which:Baseline.Allocator.which ->
   name:string ->
   Workload.Trace.t ->
   report
-(** [analyze ~name t] boots the new allocator on a fresh machine with
-    [Workload.Trace.ncpus t] CPUs, replays [t] in [windows] (default
-    16) windows with the flight recorder installed, samples
-    fragmentation between windows (also running a
-    [Heapcheck.checkpoint] there, so a driver's [--heapcheck] composes),
-    and returns the report.  Any previously installed flight recorder
-    is restored on return. *)
+(** [analyze ~name t] boots allocator [which] (default [Newkma], the
+    new allocator) on a fresh machine with [Workload.Trace.ncpus t]
+    CPUs, replays [t] in [windows] (default 16) windows with the
+    flight recorder installed, samples fragmentation between windows
+    (also running a [Heapcheck.checkpoint] there, so a driver's
+    [--heapcheck] composes), and returns the report.  Any previously
+    installed flight recorder is restored on return.
+
+    Non-[Newkma] arms boot through [Baseline.Allocator.create_probed]:
+    there is no [Kma.Kmem.t] handle, so the fragmentation samples carry
+    no page counts (live bytes still tracked, the [fragmentation]
+    finding cannot fire), while lock-free arms contribute retry-counter
+    [probe] lines and — when the trace ends with nothing live — the
+    drain-oracle verdict. *)
 
 val to_string : report -> string
 (** Deterministic text rendering (suitable for golden tests). *)

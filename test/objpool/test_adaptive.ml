@@ -1,0 +1,220 @@
+open Objpool
+
+(* Edge cases and the adaptive-geometry discipline: depot-overflow
+   drops, cross-domain reachability after flush_local, reset raising
+   mid-release, degenerate target:1 geometry, racing Pstats readers,
+   refill, and the deterministic adaptation trajectory via adapt_now. *)
+
+type obj = { id : int; mutable poison : bool }
+
+let make_pool ?(target = 4) ?(depot_batches = 8) ?mode ?reset () =
+  let next = Atomic.make 0 in
+  Pool.create
+    ~ctor:(fun () -> { id = Atomic.fetch_and_add next 1; poison = false })
+    ?reset ~target ~depot_batches ?mode ()
+
+(* --- satellite: Pstats is safe to read while writers race --- *)
+
+let test_pstats_racing_readers () =
+  let s = Pstats.create () in
+  let per_domain = 50_000 in
+  let writer () =
+    for _ = 1 to per_domain do
+      Pstats.incr_alloc s;
+      Pstats.incr_free s;
+      Pstats.note_depot_acquire s ~contended:false
+    done
+  in
+  let ds = List.init 2 (fun _ -> Domain.spawn writer) in
+  (* Race reads against the writers: every read must be a valid count,
+     and each counter must be monotone across successive reads. *)
+  let last = ref 0 in
+  for _ = 1 to 2_000 do
+    let snap = Pstats.read s in
+    let a = snap.Pstats.s_allocs in
+    if a < !last then Alcotest.failf "allocs went backwards: %d < %d" a !last;
+    last := a;
+    if snap.Pstats.s_frees < 0 then Alcotest.fail "negative frees"
+  done;
+  List.iter Domain.join ds;
+  let snap = Pstats.read s in
+  Alcotest.(check int) "exact allocs" (2 * per_domain) snap.Pstats.s_allocs;
+  Alcotest.(check int) "exact frees" (2 * per_domain) snap.Pstats.s_frees;
+  Alcotest.(check int)
+    "exact acquires" (2 * per_domain) snap.Pstats.s_depot_acquires;
+  Alcotest.(check int) "no contention recorded" 0 snap.Pstats.s_depot_contended
+
+(* --- satellite: depot overflow drops to the GC, pool stays usable --- *)
+
+let test_depot_overflow_drops () =
+  let p = make_pool ~target:2 ~depot_batches:1 () in
+  let live = List.init 40 (fun _ -> Pool.alloc p) in
+  List.iter (Pool.release p) live;
+  let s = Pstats.read (Pool.stats p) in
+  Alcotest.(check bool) "drops happened" true (s.Pstats.s_drops > 0);
+  Alcotest.(check int) "all frees counted" 40 s.Pstats.s_frees;
+  (* Capacity bounds what survives: one depot batch + the magazine. *)
+  Alcotest.(check bool) "depot respects bound" true (Pool.depot_batches p <= 1);
+  let o = Pool.alloc p in
+  Alcotest.(check bool) "pool still serves" true (o.id >= 0);
+  Pool.release p o
+
+(* --- satellite: flush_local makes a domain's stock reachable --- *)
+
+let test_flush_local_cross_domain () =
+  let p = make_pool ~target:4 ~depot_batches:8 () in
+  let d =
+    Domain.spawn (fun () ->
+        let objs = List.init 8 (fun _ -> Pool.alloc p) in
+        List.iter (Pool.release p) objs;
+        Pool.flush_local p)
+  in
+  Domain.join d;
+  let created = Pstats.creates (Pool.stats p) in
+  (* Everything the worker built is now in the depot: this domain can
+     allocate without paying constructor cost. *)
+  let mine = List.init 8 (fun _ -> Pool.alloc p) in
+  Alcotest.(check int)
+    "no new constructions" created
+    (Pstats.creates (Pool.stats p));
+  List.iter (Pool.release p) mine
+
+(* --- satellite: reset raising mid-release abandons the object --- *)
+
+let test_reset_raising () =
+  let p =
+    make_pool
+      ~reset:(fun o -> if o.poison then failwith "poisoned reset")
+      ()
+  in
+  let a = Pool.alloc p in
+  a.poison <- true;
+  (match Pool.release p a with
+  | () -> Alcotest.fail "expected the reset exception to propagate"
+  | exception Failure _ -> ());
+  let s = Pstats.read (Pool.stats p) in
+  Alcotest.(check int) "abandoned, not freed" 0 s.Pstats.s_frees;
+  (* The poisoned object re-entered nothing: the next alloc builds a
+     fresh one, and normal traffic still flows. *)
+  let b = Pool.alloc p in
+  Alcotest.(check bool) "fresh object" true (b.id <> a.id);
+  Pool.release p b;
+  Alcotest.(check int) "pool usable after" 1
+    (Pstats.frees (Pool.stats p))
+
+(* --- satellite: target:1 (no batching) still round-trips --- *)
+
+let test_target_one () =
+  let p = make_pool ~target:1 ~depot_batches:2 () in
+  for _ = 1 to 10 do
+    let o = Pool.alloc p in
+    Pool.release p o
+  done;
+  let s = Pstats.read (Pool.stats p) in
+  Alcotest.(check int) "balanced" s.Pstats.s_allocs s.Pstats.s_frees;
+  Alcotest.(check bool) "tiny working set" true (s.Pstats.s_creates <= 3)
+
+let test_target_one_adaptive () =
+  let p = make_pool ~target:1 ~depot_batches:1 ~mode:`Adaptive () in
+  Alcotest.(check int) "base" 1 (Pool.current_target p);
+  Pool.adapt_now p ~contended:true ~dropped:false;
+  Alcotest.(check int) "grew by one step" 2 (Pool.current_target p);
+  Pool.adapt_now p ~contended:false ~dropped:true;
+  (* Halving the excess over base 1 from 2: back to 1 (the floor). *)
+  Alcotest.(check int) "shrank to floor" 1 (Pool.current_target p);
+  let o = Pool.alloc p in
+  Pool.release p o
+
+(* --- tentpole: the adaptation trajectory is deterministic --- *)
+
+let test_trajectory_deterministic () =
+  let p = make_pool ~target:4 ~depot_batches:4 ~mode:`Adaptive () in
+  let signal grow =
+    Pool.adapt_now p ~contended:grow ~dropped:(not grow)
+  in
+  List.iter signal [ true; true; true; false; false; true ];
+  (* grow_step defaults to the base target (4), ceilings to 8x base;
+     shrink halves the excess over the base. *)
+  let expect =
+    [ (true, 8, 8); (true, 12, 12); (true, 16, 16);
+      (false, 10, 10); (false, 7, 7); (true, 11, 11) ]
+  in
+  let got =
+    List.map
+      (fun (e : Pool.adapt_event) ->
+        (e.Pool.ev_grow, e.Pool.ev_target, e.Pool.ev_bound))
+      (Pool.trajectory p)
+  in
+  Alcotest.(check (list (triple bool int int))) "exact trajectory" expect got;
+  Alcotest.(check int) "final target" 11 (Pool.current_target p);
+  Alcotest.(check int) "final bound" 11 (Pool.depot_bound p);
+  let s = Pstats.read (Pool.stats p) in
+  Alcotest.(check int) "grows counted" 4 s.Pstats.s_grows;
+  Alcotest.(check int) "shrinks counted" 2 s.Pstats.s_shrinks
+
+let test_trajectory_ceiling () =
+  let p = make_pool ~target:2 ~depot_batches:2 ~mode:`Adaptive () in
+  for _ = 1 to 20 do
+    Pool.adapt_now p ~contended:true ~dropped:false
+  done;
+  Alcotest.(check int) "pinned at 8x base" 16 (Pool.current_target p);
+  Alcotest.(check int) "bound pinned too" 16 (Pool.depot_bound p);
+  (* Signals at the ceiling are no-ops: no phantom trajectory events. *)
+  Alcotest.(check int) "only real steps recorded" 7
+    (List.length (Pool.trajectory p))
+
+let test_adapt_now_fixed_noop () =
+  let p = make_pool ~target:4 ~depot_batches:4 () in
+  Pool.adapt_now p ~contended:true ~dropped:false;
+  Alcotest.(check int) "fixed mode never moves" 4 (Pool.current_target p);
+  Alcotest.(check int) "no events" 0 (List.length (Pool.trajectory p))
+
+(* Adaptive mode reacts to real traffic: a burst of constructions
+   followed by a flood of releases is churn (drop near a miss), which
+   must grow the geometry.  Single-domain, so fully deterministic. *)
+let test_adaptive_grows_under_churn () =
+  let p = make_pool ~target:2 ~depot_batches:1 ~mode:`Adaptive () in
+  let live = List.init 64 (fun _ -> Pool.alloc p) in
+  List.iter (Pool.release p) live;
+  let s = Pstats.read (Pool.stats p) in
+  Alcotest.(check bool) "grew" true (s.Pstats.s_grows > 0);
+  Alcotest.(check bool) "geometry above base" true (Pool.current_target p > 2)
+
+(* --- satellite: refill (the SpeedMalloc dedicated-core hook) --- *)
+
+let test_refill () =
+  let p = make_pool ~target:4 ~depot_batches:4 () in
+  Alcotest.(check int) "kept until full" 4 (Pool.refill p ~batches:10);
+  let s = Pstats.read (Pool.stats p) in
+  Alcotest.(check int) "prefills counted" 4 s.Pstats.s_prefills;
+  Alcotest.(check int) "one speculative batch dropped" 1 s.Pstats.s_drops;
+  Alcotest.(check int) "depot fully stocked" 4 (Pool.depot_batches p);
+  (* Workers now never pay constructor cost. *)
+  let o = Pool.alloc p in
+  Alcotest.(check int) "no create on alloc" 0
+    (Pstats.creates (Pool.stats p));
+  Pool.release p o;
+  Alcotest.(check int) "zero batches is a no-op" 0 (Pool.refill p ~batches:0);
+  Alcotest.check_raises "negative batches rejected"
+    (Invalid_argument "Pool.refill: batches < 0") (fun () ->
+      ignore (Pool.refill p ~batches:(-1)))
+
+let suite =
+  [
+    Alcotest.test_case "pstats racing readers" `Quick
+      test_pstats_racing_readers;
+    Alcotest.test_case "depot overflow drops" `Quick test_depot_overflow_drops;
+    Alcotest.test_case "flush_local cross-domain" `Quick
+      test_flush_local_cross_domain;
+    Alcotest.test_case "reset raising abandons" `Quick test_reset_raising;
+    Alcotest.test_case "target:1" `Quick test_target_one;
+    Alcotest.test_case "target:1 adaptive" `Quick test_target_one_adaptive;
+    Alcotest.test_case "deterministic trajectory" `Quick
+      test_trajectory_deterministic;
+    Alcotest.test_case "trajectory ceiling" `Quick test_trajectory_ceiling;
+    Alcotest.test_case "adapt_now noop in fixed" `Quick
+      test_adapt_now_fixed_noop;
+    Alcotest.test_case "adaptive grows under churn" `Quick
+      test_adaptive_grows_under_churn;
+    Alcotest.test_case "refill" `Quick test_refill;
+  ]

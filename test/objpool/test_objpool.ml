@@ -4,4 +4,5 @@ let () =
       ("magazine", Test_magazine.suite);
       ("depot", Test_depot.suite);
       ("pool", Test_pool.suite);
+      ("adaptive", Test_adaptive.suite);
     ]

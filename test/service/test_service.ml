@@ -1,0 +1,3 @@
+let () =
+  Alcotest.run "service"
+    [ ("hist", Test_hist.suite); ("harness", Test_harness.suite) ]

@@ -91,6 +91,7 @@ let invariants_required =
   [
     "spinlock.mli"; "global.mli"; "pagepool.mli"; "vmblk.mli"; "percpu.mli";
     "check.mli"; "heapcheck.mli"; "nbbuddy.mli"; "bwfixed.mli"; "stats.mli";
+    "depot.mli";
   ]
 
 (* Lock-free interfaces: correctness rests on a linearization argument,
